@@ -1,0 +1,145 @@
+/**
+ * @file
+ * LSF frame-geometry ablation: the paper fixes F = 256 and WF = 2
+ * (Table 1) and argues that GSF's large frames make delay bounds loose
+ * (Section 2.2) while small frames constrain burst capacity. This
+ * bench sweeps the frame size and window and reports, for a saturated
+ * hotspot and for the pathological pattern, the delay bound, the
+ * fairness spread, the stripped node's throughput, and the worst
+ * observed latency — quantifying that trade-off on LOFT itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.hh"
+#include "qos/delay_bound.hh"
+
+namespace
+{
+
+using namespace noc;
+using noc::bench::loftConfig;
+using noc::bench::printRule;
+
+struct GeoCase
+{
+    std::uint32_t frameFlits;
+    std::uint32_t windowFrames;
+};
+
+// F = 128 flits (64 quantum slots) is the smallest frame that can
+// host Table 1's 64 one-quantum reservations.
+const std::vector<GeoCase> kCases{
+    {128, 2}, {256, 2}, {512, 2}, {256, 4}, {512, 4},
+};
+
+struct GeoResult
+{
+    Cycle boundPerHop = 0;
+    double fairnessRsd = 0.0;
+    double hotspotTotal = 0.0;
+    double hotspotWorstLatency = 0.0;
+    double strippedThroughput = 0.0;
+};
+
+std::vector<GeoResult> g_results(kCases.size());
+
+RunConfig
+geoConfig(const GeoCase &gc)
+{
+    RunConfig c = loftConfig(12);
+    c.loft.frameSizeFlits = gc.frameFlits;
+    c.loft.centralBufferFlits = gc.frameFlits;
+    c.loft.windowFrames = gc.windowFrames;
+    return c;
+}
+
+GeoResult
+runGeometry(const GeoCase &gc)
+{
+    GeoResult out;
+    const RunConfig c = geoConfig(gc);
+    out.boundPerHop = loftWorstCaseLatency(c.loft, 1);
+
+    Mesh2D mesh(8, 8);
+    TrafficPattern hot = hotspotPattern(mesh, 63);
+    setEqualSharesByMaxFlows(hot.flows, 64);
+    const RunResult rh = runExperiment(c, hot, 0.5);
+    out.fairnessRsd = summarizeFairness(rh.flowThroughput).rsd;
+    out.hotspotTotal = rh.networkThroughput * mesh.numNodes();
+    out.hotspotWorstLatency = rh.maxPacketLatency;
+
+    TrafficPattern patho = pathologicalPattern(mesh);
+    setEqualSharesByMaxFlows(patho.flows, 64);
+    const RunResult rp = runExperiment(c, patho, 0.95);
+    for (std::size_t i = 0; i < patho.flows.size(); ++i) {
+        if (patho.groups[i] == 1)
+            out.strippedThroughput = rp.flowThroughput[i];
+    }
+    return out;
+}
+
+void
+registerAll()
+{
+    for (std::size_t i = 0; i < kCases.size(); ++i) {
+        const GeoCase gc = kCases[i];
+        const std::string name = "F=" + std::to_string(gc.frameFlits) +
+                                 "/WF=" +
+                                 std::to_string(gc.windowFrames);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [=](benchmark::State &state) {
+                for (auto _ : state)
+                    g_results[i] = runGeometry(gc);
+                state.counters["bound_per_hop"] =
+                    static_cast<double>(g_results[i].boundPerHop);
+                state.counters["stripped_thr"] =
+                    g_results[i].strippedThroughput;
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::printf("\nLSF frame-geometry ablation (hotspot @0.5, "
+                "pathological @0.95)\n");
+    printRule();
+    std::printf("%-14s %12s %9s %9s %12s %9s\n", "geometry",
+                "bound/hop", "fair RSD", "hot thr", "worst lat",
+                "stripped");
+    printRule();
+    for (std::size_t i = 0; i < kCases.size(); ++i) {
+        const GeoResult &r = g_results[i];
+        std::printf("F=%-4u WF=%-4u %12llu %8.1f%% %9.3f %12.0f "
+                    "%9.4f\n",
+                    kCases[i].frameFlits, kCases[i].windowFrames,
+                    static_cast<unsigned long long>(r.boundPerHop),
+                    r.fairnessRsd * 100.0, r.hotspotTotal,
+                    r.hotspotWorstLatency, r.strippedThroughput);
+    }
+    printRule();
+    std::printf("expected shape: the delay bound scales with F x WF; "
+                "the stripped node's\nthroughput is geometry-"
+                "independent. At WF = 2 (the paper's design point)\n"
+                "fairness is tight for any F; deeper windows (WF = 4) "
+                "degrade saturated\nfairness and throughput - flows "
+                "cycling their injection pointer across many\nfuture "
+                "frames yield ever more reservations to skipped(), "
+                "which quantifies\nwhy the paper pairs small windows "
+                "with local status reset instead of deep\nwindows "
+                "(and its argument against GSF's 2000-flit frames).\n");
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Ablation bench for the design choices DESIGN.md calls out: LOFT with
+ * each mechanism disabled in turn - speculative switching (Section
+ * 4.3.1), local status reset (Section 4.3.2), and the condition (1)
+ * anomaly guard (Section 4.2) - on uniform and pathological workloads.
+ *
+ * Expected: disabling speculation or reset costs throughput/latency;
+ * disabling the guard produces virtual-credit violations (the silent
+ * buffer overbooking the paper's Theorem I rules out).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace noc;
+using noc::bench::loftConfig;
+using noc::bench::printRule;
+
+struct AblationResult
+{
+    double uniformThroughput = 0.0;
+    double uniformLatency = 0.0;
+    double strippedThroughput = 0.0;
+    std::uint64_t violations = 0;
+    std::uint64_t resets = 0;
+    std::uint64_t specForwards = 0;
+};
+
+std::map<std::string, AblationResult> g_results;
+std::vector<std::string> g_order;
+
+RunConfig
+variant(bool speculative, bool reset, bool guard)
+{
+    RunConfig c = loftConfig(12);
+    c.loft.speculativeSwitching = speculative;
+    c.loft.localStatusReset = reset;
+    c.loft.anomalyGuard = guard;
+    return c;
+}
+
+AblationResult
+runVariant(const RunConfig &config)
+{
+    AblationResult out;
+    Mesh2D mesh(8, 8);
+
+    TrafficPattern uni = uniformPattern(mesh);
+    setEqualSharesByMaxFlows(uni.flows, 64);
+    const RunResult ru = runExperiment(config, uni, 0.45);
+    out.uniformThroughput = ru.networkThroughput;
+    out.uniformLatency = ru.avgPacketLatency;
+    out.violations = ru.anomalyViolations;
+    out.resets = ru.localResets;
+    out.specForwards = ru.speculativeForwards;
+
+    TrafficPattern patho = pathologicalPattern(mesh);
+    setEqualSharesByMaxFlows(patho.flows, 64);
+    const RunResult rp = runExperiment(config, patho, 0.95);
+    for (std::size_t i = 0; i < patho.flows.size(); ++i) {
+        if (patho.groups[i] == 1)
+            out.strippedThroughput = rp.flowThroughput[i];
+    }
+    out.violations += rp.anomalyViolations;
+    return out;
+}
+
+void
+registerVariant(const std::string &name, bool speculative, bool reset,
+                bool guard)
+{
+    g_order.push_back(name);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [=](benchmark::State &state) {
+            for (auto _ : state)
+                g_results[name] =
+                    runVariant(variant(speculative, reset, guard));
+            state.counters["uniform_thr"] =
+                g_results[name].uniformThroughput;
+            state.counters["violations"] =
+                static_cast<double>(g_results[name].violations);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerVariant("full", true, true, true);
+    registerVariant("no_speculation", false, true, true);
+    registerVariant("no_local_reset", true, false, true);
+    registerVariant("no_anomaly_guard", true, true, false);
+    registerVariant("bare_lsf", false, false, true);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::printf("\nAblation - LOFT mechanisms (uniform @0.45, "
+                "pathological @0.95)\n");
+    printRule();
+    std::printf("%-18s %9s %9s %9s %11s %9s\n", "variant", "uni thr",
+                "uni lat", "stripped", "violations", "resets");
+    printRule();
+    for (const auto &name : g_order) {
+        const AblationResult &r = g_results[name];
+        std::printf("%-18s %9.4f %9.1f %9.4f %11llu %9llu\n",
+                    name.c_str(), r.uniformThroughput, r.uniformLatency,
+                    r.strippedThroughput,
+                    static_cast<unsigned long long>(r.violations),
+                    static_cast<unsigned long long>(r.resets));
+    }
+    printRule();
+    std::printf("expected shape: 'full' dominates; removing speculation "
+                "or reset collapses\nthroughput to the bare per-frame "
+                "reservation rate (especially for the\nstripped flow). "
+                "Disabling the condition (1) guard admits the silent\n"
+                "buffer-overbooking of Section 4.2: the deterministic "
+                "Fig. 8 scenario in\ntests/test_anomaly.cc exhibits the "
+                "negative-credit violation directly;\nunder these "
+                "network workloads it surfaces as degraded throughput "
+                "and\nmissed switching slots rather than counted "
+                "violations.\n");
+    return 0;
+}

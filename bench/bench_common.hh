@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared configuration for the paper-reproduction benches.
+ *
+ * Every bench binary regenerates one table or figure of the paper's
+ * evaluation (Section 6). Simulated cycle counts default to a laptop
+ * budget; set LOFT_SIM_SCALE (e.g. 2.0) to lengthen runs or 0.25 for a
+ * quick smoke pass.
+ */
+
+#ifndef NOC_BENCH_BENCH_COMMON_HH
+#define NOC_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "qos/allocation.hh"
+#include "qos/group_metrics.hh"
+
+namespace noc::bench
+{
+
+/** Table 1 LOFT configuration with a given speculative buffer size. */
+inline RunConfig
+loftConfig(std::uint32_t spec_buffer_flits = 12)
+{
+    RunConfig c;
+    c.kind = NetKind::Loft;
+    c.loft.specBufferFlits = spec_buffer_flits;
+    c.warmupCycles = 5000;
+    c.measureCycles = 10000;
+    c.applyEnvScale();
+    return c;
+}
+
+/** Table 1 GSF configuration. */
+inline RunConfig
+gsfConfig()
+{
+    RunConfig c;
+    c.kind = NetKind::Gsf;
+    c.warmupCycles = 5000;
+    c.measureCycles = 10000;
+    c.applyEnvScale();
+    return c;
+}
+
+inline void
+printRule()
+{
+    std::printf("-----------------------------------------------------"
+                "---------------------\n");
+}
+
+} // namespace noc::bench
+
+#endif // NOC_BENCH_BENCH_COMMON_HH

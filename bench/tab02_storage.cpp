@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Table 2 reproduction plus the Section 5.3.2 area/power estimate:
+ * per-router storage requirements (bits) for GSF and LOFT, computed in
+ * closed form from the Table 1 parameters, and the calibrated
+ * area/power proxy for a 64-node LOFT NoC (a McPAT substitute; see
+ * DESIGN.md).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "qos/hw_cost.hh"
+
+namespace
+{
+
+using namespace noc;
+using noc::bench::printRule;
+
+GsfStorage g_gsf;
+LoftStorage g_loft;
+NocCost g_cost;
+
+void
+BM_Table2(benchmark::State &state)
+{
+    GsfParams gsf;
+    LoftParams loft;
+    loft.specBufferFlits = 12; // "assuming a 12-flit speculative buffer"
+    for (auto _ : state) {
+        g_gsf = gsfRouterStorage(gsf);
+        g_loft = loftRouterStorage(loft);
+        g_cost = estimateNocCost(g_loft.total(), 64);
+        benchmark::DoNotOptimize(g_gsf);
+        benchmark::DoNotOptimize(g_loft);
+    }
+    state.counters["gsf_total_bits"] =
+        static_cast<double>(g_gsf.total());
+    state.counters["loft_total_bits"] =
+        static_cast<double>(g_loft.total());
+    state.counters["loft_saving"] =
+        1.0 - static_cast<double>(g_loft.total()) /
+                  static_cast<double>(g_gsf.total());
+}
+
+BENCHMARK(BM_Table2)->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::printf("\nTable 2 - per-router storage requirements (bits)\n");
+    printRule();
+    std::printf("GSF   source queue     %10llu   (paper: 256000)\n",
+                static_cast<unsigned long long>(g_gsf.sourceQueue));
+    std::printf("GSF   virtual channels %10llu   (paper: 15360)\n",
+                static_cast<unsigned long long>(g_gsf.virtualChannels));
+    std::printf("GSF   flow state       %10llu\n",
+                static_cast<unsigned long long>(g_gsf.flowState));
+    std::printf("GSF   TOTAL            %10llu   (paper: 271379)\n",
+                static_cast<unsigned long long>(g_gsf.total()));
+    printRule();
+    std::printf("LOFT  input buffers    %10llu   (paper: 139264)\n",
+                static_cast<unsigned long long>(g_loft.inputBuffers));
+    std::printf("LOFT  reserv. tables   %10llu   (paper: 40960)\n",
+                static_cast<unsigned long long>(
+                    g_loft.reservationTables));
+    std::printf("LOFT  flow state       %10llu   (paper: 2308)\n",
+                static_cast<unsigned long long>(g_loft.flowState));
+    std::printf("LOFT  look-ahead net   %10llu   (paper: 1536)\n",
+                static_cast<unsigned long long>(
+                    g_loft.lookaheadNetwork));
+    std::printf("LOFT  TOTAL            %10llu   (paper: 184203)\n",
+                static_cast<unsigned long long>(g_loft.total()));
+    printRule();
+    std::printf("LOFT storage saving vs GSF: %.1f%%   (paper: ~32%%)\n",
+                100.0 * (1.0 - static_cast<double>(g_loft.total()) /
+                                   static_cast<double>(g_gsf.total())));
+    std::printf("\nSection 5.3.2 - 64-node LOFT NoC cost proxy\n");
+    std::printf("area:  %6.1f mm^2  (paper, via McPAT: 32 mm^2)\n",
+                g_cost.areaMm2);
+    std::printf("power: %6.1f W     (paper, via McPAT: 50 W)\n",
+                g_cost.powerW);
+    return 0;
+}

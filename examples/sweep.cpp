@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Load-sweep tool: run a pattern across a range of offered loads on
+ * one or more networks and emit the latency/throughput series as CSV
+ * (ready for plotting) — the workflow behind Fig. 11-style curves.
+ *
+ * Usage examples:
+ *   sweep pattern=uniform nets=loft,gsf loads=0.05:0.45:0.1
+ *   sweep pattern=hotspot nets=loft spec=16 format=text
+ *
+ * Keys: pattern, nets (comma list of loft|gsf|wormhole),
+ *       loads (min:max:step), plus every loft_sim network knob.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "qos/allocation.hh"
+#include "sim/config.hh"
+#include "sim/report.hh"
+
+namespace
+{
+
+using namespace noc;
+
+std::vector<double>
+parseLoads(const std::string &spec)
+{
+    double lo = 0.05, hi = 0.45, step = 0.1;
+    if (std::sscanf(spec.c_str(), "%lf:%lf:%lf", &lo, &hi, &step) != 3)
+        fatal("loads must be min:max:step, got '%s'", spec.c_str());
+    if (step <= 0.0 || lo > hi)
+        fatal("bad load range");
+    std::vector<double> out;
+    for (double l = lo; l <= hi + 1e-9; l += step)
+        out.push_back(l);
+    return out;
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::string tok = s.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (!tok.empty())
+            out.push_back(tok);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace noc;
+
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+
+    const auto loads = parseLoads(cfg.getString("loads", "0.05:0.45:0.1"));
+    const auto nets = splitList(cfg.getString("nets", "loft,gsf"));
+    const std::string format = cfg.getString("format", "csv");
+    const std::string pattern_name =
+        cfg.getString("pattern", "uniform");
+
+    RunConfig base;
+    base.warmupCycles = cfg.getUInt("warmup", 5000);
+    base.measureCycles = cfg.getUInt("measure", 10000);
+    base.seed = cfg.getUInt("seed", 1);
+    base.loft.specBufferFlits =
+        static_cast<std::uint32_t>(cfg.getUInt("spec", 12));
+    base.applyEnvScale();
+
+    Mesh2D mesh(base.meshWidth, base.meshHeight);
+    TrafficPattern pattern;
+    if (pattern_name == "uniform")
+        pattern = uniformPattern(mesh);
+    else if (pattern_name == "hotspot")
+        pattern = hotspotPattern(mesh, mesh.numNodes() - 1);
+    else if (pattern_name == "transpose")
+        pattern = transposePattern(mesh);
+    else if (pattern_name == "tornado")
+        pattern = tornadoPattern(mesh);
+    else if (pattern_name == "neighbor")
+        pattern = neighborPattern(mesh);
+    else
+        fatal("sweep: unknown pattern '%s'", pattern_name.c_str());
+    setEqualSharesByMaxFlows(pattern.flows, base.loft.maxFlows);
+
+    ReportTable table(
+        "sweep: " + pattern_name,
+        {"net", "offered", "accepted", "avg_latency", "p95_latency",
+         "p99_latency"});
+
+    for (const std::string &net : nets) {
+        RunConfig c = base;
+        if (net == "loft")
+            c.kind = NetKind::Loft;
+        else if (net == "gsf")
+            c.kind = NetKind::Gsf;
+        else if (net == "wormhole")
+            c.kind = NetKind::Wormhole;
+        else
+            fatal("sweep: unknown net '%s'", net.c_str());
+        for (double load : loads) {
+            const RunResult r = runExperiment(c, pattern, load);
+            table.addRow({net, load, r.networkThroughput,
+                          r.avgPacketLatency, r.p95PacketLatency,
+                          r.p99PacketLatency});
+        }
+    }
+    table.write(stdout, format);
+    return 0;
+}

@@ -1,0 +1,431 @@
+#include "core/data_router.hh"
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+LoftDataRouter::LoftDataRouter(NodeId id, const Mesh2D &mesh,
+                               const LoftParams &params)
+    : id_(id), mesh_(mesh), params_(params)
+{
+    params_.validate();
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+        outputs_[p].sched = std::make_unique<OutputScheduler>(
+            params_, csprintf("router%u.%s.sched", id,
+                              portName(static_cast<Port>(p))));
+        outputs_[p].dnNonspecFree = params_.centralBufferFlits;
+        outputs_[p].dnSpecFree = params_.specBufferFlits;
+    }
+}
+
+void
+LoftDataRouter::connectInput(Port p, Channel<DataWireFlit> *data_in,
+                             Channel<ActualCreditMsg> *actual_credit_out,
+                             Channel<VirtualCreditMsg> *virtual_credit_out)
+{
+    InputPort &in = inputs_[portIndex(p)];
+    in.dataIn = data_in;
+    in.actualCreditOut = actual_credit_out;
+    in.virtualCreditOut = virtual_credit_out;
+}
+
+void
+LoftDataRouter::connectOutput(Port p, Channel<DataWireFlit> *data_out,
+                              Channel<ActualCreditMsg> *actual_credit_in,
+                              Channel<VirtualCreditMsg> *virtual_credit_in)
+{
+    OutputPort &out = outputs_[portIndex(p)];
+    out.dataOut = data_out;
+    out.actualCreditIn = actual_credit_in;
+    out.virtualCreditIn = virtual_credit_in;
+}
+
+bool
+LoftDataRouter::admitLookahead(Port in, const LookaheadFlit &la,
+                               Cycle now, Cycle schedulable_at)
+{
+    (void)now;
+    InputPort &ip = inputs_[portIndex(in)];
+    // The input reservation table bounds the quanta a port may hold
+    // (Table 1: one entry per time-window slot); a full table
+    // back-pressures the look-ahead network.
+    if (ip.records.size() >= params_.windowSlots())
+        return false;
+    const std::uint64_t key = recordKey(la.flow, la.quantumNo);
+    if (ip.records.count(key))
+        panic("router %u: duplicate look-ahead for flow %u quantum %llu",
+              id_, la.flow,
+              static_cast<unsigned long long>(la.quantumNo));
+    QuantumRecord rec;
+    rec.flow = la.flow;
+    rec.quantumNo = la.quantumNo;
+    rec.expectedFlits = la.quantumFlits;
+    rec.dst = la.dst;
+    rec.la = la;
+    rec.schedulableAt = schedulable_at;
+    rec.inPort = in;
+    rec.outPort = xyRoute(mesh_, id_, la.dst);
+    // The quantum departs the previous router at la.departureSlot; its
+    // last flit is here linkLatency cycles after the slot ends.
+    rec.arrivalSlot = la.departureSlot +
+        (params_.quantumFlits - 1 + params_.linkLatency) /
+            params_.quantumFlits;
+    pending_[portIndex(rec.outPort)].emplace(
+        std::make_pair(la.flow, la.quantumNo),
+        key | (std::uint64_t(portIndex(in)) << 60));
+    // Claim any data flits that arrived ahead of this admission.
+    auto un = ip.unclaimed.find(key);
+    if (un != ip.unclaimed.end()) {
+        rec.buffered = std::move(un->second);
+        ip.unclaimed.erase(un);
+    }
+    ip.records.emplace(key, std::move(rec));
+    return true;
+}
+
+bool
+LoftDataRouter::schedulePending(Port outp, Cycle now,
+                                LookaheadFlit &onward, bool &terminal)
+{
+    auto &pend = pending_[portIndex(outp)];
+    if (pend.empty())
+        return false;
+    OutputScheduler &sched = *outputs_[portIndex(outp)].sched;
+    const Slot stages_slots =
+        (params_.routerStages + params_.quantumFlits - 1) /
+        params_.quantumFlits;
+
+    // Serve flows round-robin; within a flow, the oldest quantum
+    // first. Gather each distinct flow's head entry (pend is ordered
+    // by (flow, quantum)), then rotate past the last served flow.
+    FlowId &ptr = flowPointer_[portIndex(outp)];
+    std::vector<std::map<std::pair<FlowId, std::uint64_t>,
+                         std::uint64_t>::iterator>
+        heads;
+    for (auto h = pend.begin(); h != pend.end();
+         h = pend.upper_bound(std::make_pair(
+             h->first.first,
+             std::numeric_limits<std::uint64_t>::max()))) {
+        heads.push_back(h);
+    }
+    std::size_t start = 0;
+    while (start < heads.size() && heads[start]->first.first <= ptr)
+        ++start;
+
+    for (std::size_t k = 0; k < heads.size(); ++k) {
+        auto it = heads[(start + k) % heads.size()];
+        const FlowId flow = it->first.first;
+        const std::size_t in =
+            static_cast<std::size_t>(it->second >> 60);
+        const std::uint64_t key =
+            it->second & ((std::uint64_t(1) << 60) - 1);
+        InputPort &ip = inputs_[in];
+        QuantumRecord &rec = ip.records.at(key);
+
+        if (rec.schedulableAt > now)
+            continue; // still in the look-ahead router pipeline
+
+        Slot granted;
+        if (!sched.trySchedule(flow, now, rec.quantumNo,
+                               rec.arrivalSlot + stages_slots,
+                               granted)) {
+            continue; // throttled: stays pending
+        }
+
+        rec.departSlot = granted;
+        rec.scheduled = true;
+        ip.schedIdx[portIndex(outp)].emplace(granted, key);
+        // Step 4: return a virtual credit (stamped with the onward
+        // departure slot) to the upstream output scheduler.
+        if (ip.virtualCreditOut)
+            ip.virtualCreditOut->send(now, VirtualCreditMsg{granted});
+
+        ptr = flow;
+        rec.la.departureSlot = granted;
+        onward = rec.la;
+        terminal = outp == Port::Local;
+        pend.erase(it);
+        return true;
+    }
+    return false;
+}
+
+void
+LoftDataRouter::receiveCredits(Cycle now)
+{
+    for (auto &out : outputs_) {
+        if (out.actualCreditIn) {
+            while (auto c = out.actualCreditIn->tryReceive(now)) {
+                if (c->spec)
+                    ++out.dnSpecFree;
+                else
+                    ++out.dnNonspecFree;
+                if (out.dnSpecFree > params_.specBufferFlits ||
+                    out.dnNonspecFree > params_.centralBufferFlits) {
+                    panic("router %u: actual credit overflow", id_);
+                }
+            }
+        }
+        if (out.virtualCreditIn) {
+            while (auto c = out.virtualCreditIn->tryReceive(now))
+                out.sched->onCreditReturn(c->departSlot);
+        }
+    }
+}
+
+void
+LoftDataRouter::receiveData(Cycle now)
+{
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+        InputPort &ip = inputs_[p];
+        if (!ip.dataIn)
+            continue;
+        while (auto wf = ip.dataIn->tryReceive(now)) {
+            const Flit &flit = wf->flit;
+            if (wf->spec) {
+                if (ip.specUsed >= params_.specBufferFlits)
+                    panic("router %u: speculative buffer overflow", id_);
+                ++ip.specUsed;
+            } else {
+                if (ip.nonspecUsed >= params_.centralBufferFlits)
+                    panic("router %u: central buffer overflow "
+                          "(scheduling anomaly)", id_);
+                ++ip.nonspecUsed;
+            }
+            const std::uint64_t key =
+                recordKey(flit.flow, flit.quantum);
+            auto it = ip.records.find(key);
+            if (it == ip.records.end()) {
+                // The leading look-ahead is still waiting for a free
+                // input-table entry; stage the flit until it lands.
+                ip.unclaimed[key].push_back(
+                    BufferedFlit{flit, wf->spec});
+                continue;
+            }
+            it->second.buffered.push_back(BufferedFlit{flit, wf->spec});
+        }
+    }
+}
+
+LoftDataRouter::QuantumRecord *
+LoftDataRouter::findRecord(FlowId flow, std::uint64_t quantum,
+                           std::size_t &in_port)
+{
+    const std::uint64_t key = recordKey(flow, quantum);
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+        auto it = inputs_[p].records.find(key);
+        if (it != inputs_[p].records.end()) {
+            in_port = p;
+            return &it->second;
+        }
+    }
+    return nullptr;
+}
+
+void
+LoftDataRouter::eraseRecord(std::size_t in, QuantumRecord &rec)
+{
+    InputPort &ip = inputs_[in];
+    if (rec.scheduled)
+        ip.schedIdx[portIndex(rec.outPort)].erase(rec.departSlot);
+    ip.records.erase(recordKey(rec.flow, rec.quantumNo));
+}
+
+void
+LoftDataRouter::forwardFlit(std::size_t in, QuantumRecord &rec,
+                            std::size_t out, Cycle now, bool emergent)
+{
+    InputPort &ip = inputs_[in];
+    OutputPort &op = outputs_[out];
+
+    // Decide the downstream buffer: a quantum switched starting at its
+    // scheduled slot is in order and enters the non-speculative buffer,
+    // whose occupancy the reservation tables track; a quantum forwarded
+    // ahead of schedule is out of (time) order and must use the
+    // speculative buffer (Section 4.3.1 - with spec size 0 all early
+    // forwarding is disabled). The choice is made at the quantum's
+    // first flit and is sticky (the quantum is the scheduling unit).
+    if (rec.forwardedFlits == 0)
+        rec.sendSpec = !emergent;
+    const bool to_spec = rec.sendSpec;
+
+    if (to_spec ? op.dnSpecFree == 0 : op.dnNonspecFree == 0)
+        panic("router %u: forwardFlit without downstream space", id_);
+
+    BufferedFlit bf = rec.buffered.front();
+    rec.buffered.pop_front();
+    op.dataOut->send(now, DataWireFlit{bf.flit, to_spec});
+    if (to_spec)
+        --op.dnSpecFree;
+    else
+        --op.dnNonspecFree;
+
+    // Free this router's buffer slot and tell upstream.
+    if (bf.spec) {
+        if (ip.specUsed == 0)
+            panic("router %u: spec buffer underflow", id_);
+        --ip.specUsed;
+    } else {
+        if (ip.nonspecUsed == 0)
+            panic("router %u: central buffer underflow", id_);
+        --ip.nonspecUsed;
+    }
+    if (ip.actualCreditOut)
+        ip.actualCreditOut->send(now, ActualCreditMsg{bf.spec});
+
+    ++rec.forwardedFlits;
+    op.lastForward = now;
+    ++op.flitsForwarded;
+    DPRINTF(Data, now, "router %u: flow %u flit %llu out %s (%s)",
+            id_, bf.flit.flow,
+            static_cast<unsigned long long>(bf.flit.flitNo),
+            portName(static_cast<Port>(out)),
+            emergent ? "emergent" : "speculative");
+    if (emergent)
+        ++emergentForwards_;
+    else
+        ++specForwards_;
+
+    if (rec.forwardedFlits == rec.expectedFlits) {
+        op.sched->clearBooking(rec.departSlot);
+        eraseRecord(in, rec);
+    }
+}
+
+void
+LoftDataRouter::switchOutputs(Cycle now)
+{
+    const Slot now_slot = params_.slotOf(now);
+    for (std::size_t out = 0; out < kNumPorts; ++out) {
+        OutputPort &op = outputs_[out];
+        if (!op.dataOut)
+            continue;
+
+        // Emergent candidate: the earliest due quantum (scheduled slot
+        // arrived or already missed) that has data. Guaranteed to win
+        // arbitration.
+        {
+            QuantumRecord *due = nullptr;
+            std::size_t due_in = 0;
+            bool due_dataless = false;
+            for (std::size_t in = 0; in < kNumPorts; ++in) {
+                for (const auto &[slot, key] : inputs_[in].schedIdx[out]) {
+                    if (slot > now_slot)
+                        break;
+                    QuantumRecord &rec = inputs_[in].records.at(key);
+                    if (rec.buffered.empty()) {
+                        due_dataless = true; // late data upstream
+                        continue;
+                    }
+                    if (!due || rec.departSlot < due->departSlot) {
+                        due = &rec;
+                        due_in = in;
+                    }
+                    break;
+                }
+            }
+            if (due) {
+                // A quantum that already started early stays in the
+                // speculative lane; one starting at its slot uses the
+                // tracked non-speculative buffer.
+                const bool needs_spec =
+                    due->forwardedFlits > 0 && due->sendSpec;
+                if (needs_spec ? op.dnSpecFree > 0
+                               : op.dnNonspecFree > 0) {
+                    forwardFlit(due_in, *due, out, now, true);
+                    continue;
+                }
+                // Downstream has no space: the scheduled switching
+                // time is missed (for the non-speculative buffer this
+                // is only possible when the anomaly guard is disabled,
+                // Section 4.2).
+                ++missedSlots_;
+                continue;
+            }
+            if (due_dataless)
+                ++missedSlots_;
+        }
+
+        // Speculative switching: forward a ready flit ahead of its
+        // scheduled time if the link is otherwise idle.
+        if (!params_.speculativeSwitching)
+            continue;
+        if (op.dnSpecFree == 0)
+            continue; // early forwards need speculative buffer space
+        std::vector<bool> req(kNumPorts, false);
+        std::array<std::uint64_t, kNumPorts> cand_key{};
+        for (std::size_t in = 0; in < kNumPorts; ++in) {
+            InputPort &ip = inputs_[in];
+            for (const auto &[slot, key] : ip.schedIdx[out]) {
+                if (slot <= now_slot)
+                    continue; // due or overdue: emergent lane only
+                const QuantumRecord &rec = ip.records.at(key);
+                if (rec.buffered.empty())
+                    continue;
+                req[in] = true;
+                cand_key[in] = key;
+                break; // earliest ready record of this input port
+            }
+        }
+        const std::size_t win = op.arb.arbitrate(req);
+        if (win == RoundRobinArbiter::npos)
+            continue;
+        QuantumRecord &rec = inputs_[win].records.at(cand_key[win]);
+        forwardFlit(win, rec, out, now, false);
+    }
+}
+
+void
+LoftDataRouter::maybeLocalReset(Cycle now)
+{
+    if (!params_.localStatusReset)
+        return;
+    for (std::size_t out = 0; out < kNumPorts; ++out) {
+        OutputPort &op = outputs_[out];
+        if (!op.dataOut)
+            continue;
+        if (!op.sched->dirty() || !op.sched->canLocalReset())
+            continue;
+        // Section 4.3.2: the downstream non-speculative buffer must be
+        // empty (checked through the returned actual credits).
+        if (op.dnNonspecFree != params_.centralBufferFlits)
+            continue;
+        op.sched->localReset(now);
+        ++localResets_;
+    }
+}
+
+void
+LoftDataRouter::tick(Cycle now)
+{
+    receiveCredits(now);
+    for (auto &out : outputs_) {
+        if (out.dataOut)
+            out.sched->advanceTo(now);
+    }
+    receiveData(now);
+    switchOutputs(now);
+    maybeLocalReset(now);
+}
+
+std::uint64_t
+LoftDataRouter::bufferedFlits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ip : inputs_)
+        total += ip.nonspecUsed + ip.specUsed;
+    return total;
+}
+
+std::uint64_t
+LoftDataRouter::anomalyViolations() const
+{
+    std::uint64_t total = 0;
+    for (const auto &out : outputs_)
+        total += out.sched->anomalyViolations();
+    return total;
+}
+
+} // namespace noc

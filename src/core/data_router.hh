@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The LOFT data-network router (Fig. 4, right): no routing or
+ * arbitration logic for data flits. Movement is dictated by the input
+ * and output reservation tables programmed by the look-ahead flits; the
+ * only run-time decision is the output arbitration among ready
+ * candidates, with emergent candidates (scheduled to depart this slot)
+ * guaranteed to win (Section 4.3.1).
+ *
+ * Each input port holds a central (non-speculative) buffer plus a
+ * speculative buffer for out-of-order forwarded flits (Fig. 9), and the
+ * input reservation table (quantum records). Each output port owns an
+ * LSF OutputScheduler (the framed output reservation table) plus the
+ * actual-credit view of the downstream buffers.
+ */
+
+#ifndef NOC_CORE_DATA_ROUTER_HH
+#define NOC_CORE_DATA_ROUTER_HH
+
+#include <array>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "core/messages.hh"
+#include "core/output_scheduler.hh"
+#include "net/channel.hh"
+#include "net/routing.hh"
+#include "net/topology.hh"
+#include "router/arbiter.hh"
+#include "sim/clocked.hh"
+
+namespace noc
+{
+
+class LoftDataRouter : public Clocked
+{
+  public:
+    LoftDataRouter(NodeId id, const Mesh2D &mesh,
+                   const LoftParams &params);
+
+    NodeId id() const { return id_; }
+
+    /// @name Wiring (input side: data in, credits returned upstream)
+    /// @{
+    void connectInput(Port p, Channel<DataWireFlit> *data_in,
+                      Channel<ActualCreditMsg> *actual_credit_out,
+                      Channel<VirtualCreditMsg> *virtual_credit_out);
+    /// @}
+
+    /// @name Wiring (output side: data out, credits from downstream)
+    /// @{
+    void connectOutput(Port p, Channel<DataWireFlit> *data_out,
+                       Channel<ActualCreditMsg> *actual_credit_in,
+                       Channel<VirtualCreditMsg> *virtual_credit_in);
+    /// @}
+
+    OutputScheduler &scheduler(Port p)
+    {
+        return *outputs_[portIndex(p)].sched;
+    }
+
+    /**
+     * Step 1 of the FRS procedure: a look-ahead flit arrived on input
+     * port @p in; record the data flits it leads in the input
+     * reservation table (buffers are allocated lazily on data arrival)
+     * and queue it for output scheduling.
+     *
+     * @return false (and no state change) if the input reservation
+     *         table is full; the look-ahead flit then waits in its
+     *         virtual channel (back-pressure).
+     */
+    bool admitLookahead(Port in, const LookaheadFlit &la, Cycle now,
+                        Cycle schedulable_at);
+
+    /**
+     * Steps 3-4: the input schedulers request output scheduling for
+     * the pending (admitted, unscheduled) quanta routed to output
+     * @p outp, serving flows round-robin. On success the reservation
+     * tables are updated, a virtual credit is returned upstream, and
+     * the onward look-ahead flit (departure slot filled in) is handed
+     * back for transmission on the look-ahead plane.
+     *
+     * @param onward receives the look-ahead flit to forward.
+     * @param terminal set if this router is the quantum's destination
+     *        (no onward look-ahead flit is needed).
+     * @return false if no pending quantum could be scheduled.
+     */
+    bool schedulePending(Port outp, Cycle now, LookaheadFlit &onward,
+                         bool &terminal);
+
+    void tick(Cycle now) override;
+
+    /// @name Stats / introspection
+    /// @{
+    std::uint64_t bufferedFlits() const;
+    std::uint64_t emergentForwards() const { return emergentForwards_; }
+    std::uint64_t speculativeForwards() const { return specForwards_; }
+    std::uint64_t missedSlots() const { return missedSlots_; }
+    std::uint64_t localResets() const { return localResets_; }
+    std::uint64_t anomalyViolations() const;
+    /** Flits transmitted through output port @p p so far. */
+    std::uint64_t portFlitsForwarded(Port p) const
+    {
+        return outputs_[portIndex(p)].flitsForwarded;
+    }
+    /// @}
+
+  private:
+    /** A buffered data flit and which physical buffer holds it. */
+    struct BufferedFlit
+    {
+        Flit flit;
+        bool spec;
+    };
+
+    /** Input reservation table entry: one quantum led by one LA flit. */
+    struct QuantumRecord
+    {
+        FlowId flow = kInvalidFlow;
+        std::uint64_t quantumNo = 0;
+        std::uint32_t expectedFlits = 0;
+        NodeId dst = kInvalidNode;
+        /** The leading look-ahead flit (forwarded once scheduled). */
+        LookaheadFlit la;
+        /** First cycle the look-ahead may request output scheduling
+         *  (after the look-ahead router pipeline). */
+        Cycle schedulableAt = 0;
+        Port inPort = Port::Local;
+        Port outPort = Port::Local;
+        Slot arrivalSlot = 0;
+        Slot departSlot = kNeverCycle;
+        bool scheduled = false;
+        std::uint32_t forwardedFlits = 0;
+        /**
+         * Downstream buffer choice, decided when the first flit is
+         * forwarded and sticky for the whole quantum (the quantum is
+         * the scheduling unit): started at its slot -> non-speculative,
+         * started early -> speculative.
+         */
+        bool sendSpec = false;
+        std::deque<BufferedFlit> buffered;
+    };
+
+    struct InputPort
+    {
+        Channel<DataWireFlit> *dataIn = nullptr;
+        Channel<ActualCreditMsg> *actualCreditOut = nullptr;
+        Channel<VirtualCreditMsg> *virtualCreditOut = nullptr;
+        std::unordered_map<std::uint64_t, QuantumRecord> records;
+        /**
+         * Flits that arrived while their look-ahead still waits for a
+         * free input-table entry (the data plane can outrun a
+         * back-pressured look-ahead admission by a few cycles).
+         */
+        std::unordered_map<std::uint64_t, std::deque<BufferedFlit>>
+            unclaimed;
+        /** Scheduled records by departure slot, per output port. */
+        std::array<std::map<Slot, std::uint64_t>, kNumPorts> schedIdx;
+        std::uint32_t nonspecUsed = 0;
+        std::uint32_t specUsed = 0;
+    };
+
+    struct OutputPort
+    {
+        std::unique_ptr<OutputScheduler> sched;
+        Channel<DataWireFlit> *dataOut = nullptr;
+        Channel<ActualCreditMsg> *actualCreditIn = nullptr;
+        Channel<VirtualCreditMsg> *virtualCreditIn = nullptr;
+        /** Actual free space in the downstream buffers (flits). */
+        std::uint32_t dnNonspecFree = 0;
+        std::uint32_t dnSpecFree = 0;
+        /** Cycle of the most recent flit transmission on this link. */
+        Cycle lastForward = 0;
+        /** Flits ever transmitted on this link. */
+        std::uint64_t flitsForwarded = 0;
+        RoundRobinArbiter arb{kNumPorts};
+    };
+
+    static std::uint64_t recordKey(FlowId f, std::uint64_t q)
+    {
+        return (static_cast<std::uint64_t>(f) << 44) | q;
+    }
+
+    void receiveCredits(Cycle now);
+    void receiveData(Cycle now);
+    void switchOutputs(Cycle now);
+    void maybeLocalReset(Cycle now);
+
+    /** Forward one flit of @p rec through output @p out. */
+    void forwardFlit(std::size_t in, QuantumRecord &rec, std::size_t out,
+                     Cycle now, bool emergent);
+
+    /** Find the record behind a booking, if present on any input. */
+    QuantumRecord *findRecord(FlowId flow, std::uint64_t quantum,
+                              std::size_t &in_port);
+
+    void eraseRecord(std::size_t in, QuantumRecord &rec);
+
+    NodeId id_;
+    const Mesh2D &mesh_;
+    LoftParams params_;
+
+    std::array<InputPort, kNumPorts> inputs_;
+    std::array<OutputPort, kNumPorts> outputs_;
+
+    /**
+     * Admitted-but-unscheduled quanta per output port, ordered by
+     * (flow, quantum number) for round-robin service over flows.
+     */
+    std::array<std::map<std::pair<FlowId, std::uint64_t>, std::uint64_t>,
+               kNumPorts>
+        pending_;
+    /** Round-robin pointer over flows, per output port. */
+    std::array<FlowId, kNumPorts> flowPointer_{};
+
+    std::uint64_t emergentForwards_ = 0;
+    std::uint64_t specForwards_ = 0;
+    std::uint64_t missedSlots_ = 0;
+    std::uint64_t localResets_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_CORE_DATA_ROUTER_HH

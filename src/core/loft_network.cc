@@ -1,0 +1,225 @@
+#include "core/loft_network.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+namespace noc
+{
+
+template <typename T>
+Channel<T> *
+LoftNetwork::newChannel(std::vector<std::unique_ptr<Channel<T>>> &pool)
+{
+    pool.push_back(std::make_unique<Channel<T>>(params_.linkLatency));
+    return pool.back().get();
+}
+
+LoftNetwork::LoftNetwork(const Mesh2D &mesh, const LoftParams &params)
+    : mesh_(mesh), params_(params)
+{
+    params_.validate();
+    const std::uint32_t n = mesh.numNodes();
+
+    for (NodeId id = 0; id < n; ++id) {
+        dataRouters_.push_back(
+            std::make_unique<LoftDataRouter>(id, mesh, params_));
+    }
+    for (NodeId id = 0; id < n; ++id) {
+        laRouters_.push_back(std::make_unique<LookaheadRouter>(
+            id, mesh, params_, dataRouters_[id].get()));
+    }
+
+    // Inter-router links on both planes.
+    for (NodeId id = 0; id < n; ++id) {
+        for (Port p : {Port::North, Port::East, Port::South, Port::West}) {
+            if (!mesh.hasNeighbor(id, p))
+                continue;
+            const NodeId nb = mesh.neighbor(id, p);
+            const Port back = oppositePort(p);
+
+            auto *data = newChannel(dataChannels_);
+            auto *act = newChannel(actChannels_);
+            auto *vcr = newChannel(vcrChannels_);
+            dataRouters_[id]->connectOutput(p, data, act, vcr);
+            dataRouters_[nb]->connectInput(back, data, act, vcr);
+
+            auto *la = newChannel(laChannels_);
+            auto *lac = newChannel(laCredChannels_);
+            laRouters_[id]->connectOutput(p, la, lac);
+            laRouters_[nb]->connectInput(back, la, lac);
+        }
+    }
+
+    // Local ports: NI -> router / LA router, router -> sink.
+    for (NodeId id = 0; id < n; ++id) {
+        auto src = std::make_unique<LoftSourceUnit>(id, params_);
+
+        auto *data = newChannel(dataChannels_);
+        auto *act = newChannel(actChannels_);
+        auto *vcr = newChannel(vcrChannels_);
+        src->connectData(data, act, vcr);
+        dataRouters_[id]->connectInput(Port::Local, data, act, vcr);
+
+        auto *la = newChannel(laChannels_);
+        auto *lac = newChannel(laCredChannels_);
+        src->connectLookahead(la, lac);
+        laRouters_[id]->connectInput(Port::Local, la, lac);
+
+        auto *eject = newChannel(dataChannels_);
+        auto *eact = newChannel(actChannels_);
+        auto *evcr = newChannel(vcrChannels_);
+        dataRouters_[id]->connectOutput(Port::Local, eject, eact, evcr);
+        sinks_.push_back(std::make_unique<LoftSink>(
+            id, params_, eject, eact, evcr, &metrics_));
+
+        sources_.push_back(std::move(src));
+    }
+}
+
+std::uint32_t
+LoftNetwork::reservationOf(const FlowSpec &flow) const
+{
+    const double flits = flow.bwShare * params_.frameSizeFlits;
+    const auto r = static_cast<std::uint32_t>(std::llround(flits));
+    return std::max<std::uint32_t>(r, params_.quantumFlits);
+}
+
+void
+LoftNetwork::registerFlows(const std::vector<FlowSpec> &flows)
+{
+    metrics_.resizeFlows(flows.size());
+    for (const FlowSpec &f : flows) {
+        const std::uint32_t r = reservationOf(f);
+        sources_.at(f.src)->registerFlow(f.id, r);
+        if (f.randomDst()) {
+            // The flow's packets may take any XY route: reserve on
+            // every output port of every router (Section 6, uniform).
+            for (NodeId id = 0; id < mesh_.numNodes(); ++id) {
+                for (std::size_t p = 0; p < kNumPorts; ++p) {
+                    dataRouters_[id]
+                        ->scheduler(static_cast<Port>(p))
+                        .registerFlow(f.id, r);
+                }
+            }
+        } else {
+            for (const RouteHop &hop : xyPath(mesh_, f.src, f.dst)) {
+                dataRouters_[hop.node]->scheduler(hop.out)
+                    .registerFlow(f.id, r);
+            }
+        }
+    }
+}
+
+bool
+LoftNetwork::canInject(NodeId src) const
+{
+    Packet probe;
+    probe.sizeFlits = 1;
+    return sources_.at(src)->canAccept(probe);
+}
+
+bool
+LoftNetwork::inject(const Packet &pkt)
+{
+    return sources_.at(pkt.src)->enqueue(pkt);
+}
+
+void
+LoftNetwork::attach(Simulator &sim)
+{
+    // Look-ahead routers tick before data routers of the same node so
+    // that table writes are visible within the cycle (the two are
+    // co-located hardware blocks).
+    for (auto &r : laRouters_)
+        sim.add(r.get());
+    for (auto &r : dataRouters_)
+        sim.add(r.get());
+    for (auto &s : sources_)
+        sim.add(s.get());
+    for (auto &s : sinks_)
+        sim.add(s.get());
+}
+
+std::uint64_t
+LoftNetwork::flitsInFlight() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : sources_)
+        total += s->queuedFlits();
+    for (const auto &r : dataRouters_)
+        total += r->bufferedFlits();
+    for (const auto &ch : dataChannels_)
+        total += ch->inFlightCount();
+    return total;
+}
+
+std::uint64_t
+LoftNetwork::totalSpeculativeForwards() const
+{
+    std::uint64_t t = 0;
+    for (const auto &r : dataRouters_)
+        t += r->speculativeForwards();
+    return t;
+}
+
+std::uint64_t
+LoftNetwork::totalEmergentForwards() const
+{
+    std::uint64_t t = 0;
+    for (const auto &r : dataRouters_)
+        t += r->emergentForwards();
+    return t;
+}
+
+std::uint64_t
+LoftNetwork::totalLocalResets() const
+{
+    std::uint64_t t = 0;
+    for (const auto &r : dataRouters_)
+        t += r->localResets();
+    for (const auto &s : sources_)
+        t += s->localResets();
+    return t;
+}
+
+std::uint64_t
+LoftNetwork::totalAnomalyViolations() const
+{
+    std::uint64_t t = 0;
+    for (const auto &r : dataRouters_)
+        t += r->anomalyViolations();
+    for (const auto &s : sources_) {
+        auto &sched = const_cast<LoftSourceUnit &>(*s).scheduler();
+        t += sched.anomalyViolations();
+    }
+    return t;
+}
+
+std::vector<double>
+LoftNetwork::linkUtilization(Cycle cycles) const
+{
+    std::vector<double> out;
+    out.reserve(mesh_.numNodes() * kNumPorts);
+    for (NodeId n = 0; n < mesh_.numNodes(); ++n) {
+        for (std::size_t p = 0; p < kNumPorts; ++p) {
+            const double flits = static_cast<double>(
+                dataRouters_[n]->portFlitsForwarded(
+                    static_cast<Port>(p)));
+            out.push_back(cycles ? flits / cycles : 0.0);
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+LoftNetwork::totalMissedSlots() const
+{
+    std::uint64_t t = 0;
+    for (const auto &r : dataRouters_)
+        t += r->missedSlots();
+    return t;
+}
+
+} // namespace noc

@@ -1,0 +1,51 @@
+#include "core/loft_sink.hh"
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+LoftSink::LoftSink(NodeId node, const LoftParams &params,
+                   Channel<DataWireFlit> *in,
+                   Channel<ActualCreditMsg> *actual_credit_out,
+                   Channel<VirtualCreditMsg> *virtual_credit_out,
+                   MetricsCollector *metrics)
+    : node_(node), params_(params), in_(in),
+      actualCreditOut_(actual_credit_out),
+      virtualCreditOut_(virtual_credit_out), metrics_(metrics)
+{
+}
+
+void
+LoftSink::tick(Cycle now)
+{
+    auto wf = in_->tryReceive(now);
+    if (!wf)
+        return;
+    const Flit &flit = wf->flit;
+    if (flit.dst != node_)
+        panic("loft-sink %u: flit for node %u", node_, flit.dst);
+
+    actualCreditOut_->send(now, ActualCreditMsg{wf->spec});
+    if (flit.quantumLast) {
+        // The quantum is fully consumed: from this slot on its buffer
+        // reservation is free again.
+        virtualCreditOut_->send(
+            now, VirtualCreditMsg{params_.slotOf(now)});
+    }
+
+    ++flitsEjected_;
+    if (metrics_)
+        metrics_->onFlitEjected(flit.flow);
+
+    auto [it, inserted] = pending_.try_emplace(flit.packet, 0u);
+    (void)inserted;
+    ++it->second;
+    if (it->second == flit.pktSize) {
+        if (metrics_)
+            metrics_->onPacketEjected(flit.flow, flit.createdAt, now);
+        pending_.erase(it);
+    }
+}
+
+} // namespace noc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * LOFT ejection unit: consumes flits at 1 flit/cycle, feeds metrics,
+ * and returns both actual credits (per flit) and virtual credits (per
+ * quantum, stamped with the consumption slot) to the destination
+ * router's Local output scheduler.
+ */
+
+#ifndef NOC_CORE_LOFT_SINK_HH
+#define NOC_CORE_LOFT_SINK_HH
+
+#include <unordered_map>
+
+#include "core/loft_params.hh"
+#include "core/messages.hh"
+#include "net/channel.hh"
+#include "net/metrics.hh"
+#include "sim/clocked.hh"
+
+namespace noc
+{
+
+class LoftSink : public Clocked
+{
+  public:
+    LoftSink(NodeId node, const LoftParams &params,
+             Channel<DataWireFlit> *in,
+             Channel<ActualCreditMsg> *actual_credit_out,
+             Channel<VirtualCreditMsg> *virtual_credit_out,
+             MetricsCollector *metrics);
+
+    void tick(Cycle now) override;
+
+    std::uint64_t flitsEjected() const { return flitsEjected_; }
+
+  private:
+    NodeId node_;
+    LoftParams params_;
+    Channel<DataWireFlit> *in_;
+    Channel<ActualCreditMsg> *actualCreditOut_;
+    Channel<VirtualCreditMsg> *virtualCreditOut_;
+    MetricsCollector *metrics_;
+    std::unordered_map<PacketId, std::uint32_t> pending_;
+    std::uint64_t flitsEjected_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_CORE_LOFT_SINK_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The LOFT network interface (NI). Packets are segmented into quanta;
+ * for every quantum a look-ahead flit is injected into the look-ahead
+ * network after the quantum's departure over the local link has been
+ * scheduled on the NI's own LSF output scheduler. Data flits follow at
+ * their scheduled slots (or earlier, under speculative switching).
+ *
+ * Source-side throttling emerges naturally: when a flow has exhausted
+ * its reservations in the local link's frame window, trySchedule fails
+ * and the NI simply retries next cycle.
+ */
+
+#ifndef NOC_CORE_LOFT_SOURCE_HH
+#define NOC_CORE_LOFT_SOURCE_HH
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/messages.hh"
+#include "core/output_scheduler.hh"
+#include "net/channel.hh"
+#include "net/packet.hh"
+#include "router/arbiter.hh"
+#include "sim/clocked.hh"
+
+namespace noc
+{
+
+class LoftSourceUnit : public Clocked
+{
+  public:
+    LoftSourceUnit(NodeId node, const LoftParams &params);
+
+    /** Wiring: data plane to the router's Local input port. */
+    void connectData(Channel<DataWireFlit> *data_out,
+                     Channel<ActualCreditMsg> *actual_credit_in,
+                     Channel<VirtualCreditMsg> *virtual_credit_in);
+
+    /** Wiring: look-ahead plane to the LA router's Local input port. */
+    void connectLookahead(Channel<LaWireFlit> *la_out,
+                          Channel<LaCredit> *la_credit_in);
+
+    /** Register a flow originating here (R in flits per frame). */
+    void registerFlow(FlowId flow, std::uint32_t reservation_flits);
+
+    bool canAccept(const Packet &pkt) const;
+    bool enqueue(const Packet &pkt);
+
+    void tick(Cycle now) override;
+
+    NodeId node() const { return node_; }
+    std::uint64_t queuedFlits() const { return queuedFlits_; }
+    OutputScheduler &scheduler() { return sched_; }
+    std::uint64_t throttleStalls() const { return throttles_; }
+    std::uint64_t localResets() const { return localResets_; }
+    std::uint64_t stallNoLaCredit() const { return stallNoLaCredit_; }
+    std::uint64_t stallSpecCredit() const { return stallSpecCredit_; }
+    std::uint64_t stallNonspecCredit() const { return stallNonspecCredit_; }
+    std::uint64_t flitsSent() const { return flitsSent_; }
+    std::uint64_t resetBlockedBookings() const { return rbBookings_; }
+    std::uint64_t resetBlockedNonspec() const { return rbNonspec_; }
+
+  private:
+    /** One quantum waiting to depart over the local link. */
+    struct OutboundQuantum
+    {
+        FlowId flow = kInvalidFlow;
+        std::uint64_t quantumNo = 0;
+        Slot departSlot = 0;
+        std::vector<Flit> flits;
+        std::uint32_t sent = 0;
+        /** Sticky buffer choice, decided at the first flit. */
+        bool sendSpec = false;
+    };
+
+    /** A quantum built from the head packet, awaiting scheduling. */
+    struct PendingQuantum
+    {
+        LookaheadFlit la;
+        std::vector<Flit> flits;
+    };
+
+    void receiveCredits(Cycle now);
+    void buildNextQuantum(Cycle now);
+    void emitLookahead(Cycle now);
+    void forwardData(Cycle now);
+    void maybeLocalReset(Cycle now);
+
+    NodeId node_;
+    LoftParams params_;
+    OutputScheduler sched_;
+
+    Channel<DataWireFlit> *dataOut_ = nullptr;
+    Channel<ActualCreditMsg> *actualCreditIn_ = nullptr;
+    Channel<VirtualCreditMsg> *virtualCreditIn_ = nullptr;
+    Channel<LaWireFlit> *laOut_ = nullptr;
+    Channel<LaCredit> *laCreditIn_ = nullptr;
+
+    std::deque<Packet> queue_;
+    std::uint64_t queuedFlits_ = 0;
+
+    /** Segmentation cursor within the head packet. */
+    std::uint32_t headPacketOffset_ = 0;
+
+    std::optional<PendingQuantum> pending_;
+
+    /** Scheduled-but-not-fully-sent quanta keyed by departure slot. */
+    std::map<Slot, OutboundQuantum> outbound_;
+
+    /** Downstream (router local input) buffer space, flit granular. */
+    std::uint32_t dnNonspecFree_;
+    std::uint32_t dnSpecFree_;
+
+    std::vector<std::uint32_t> laCredits_;
+    RoundRobinArbiter laVcPick_;
+
+    struct FlowCounters
+    {
+        std::uint64_t nextFlitNo = 0;
+        std::uint64_t nextQuantumNo = 0;
+    };
+    std::unordered_map<FlowId, FlowCounters> counters_;
+
+    std::uint64_t throttles_ = 0;
+    std::uint64_t localResets_ = 0;
+    std::uint64_t stallNoLaCredit_ = 0;
+    std::uint64_t stallSpecCredit_ = 0;
+    std::uint64_t stallNonspecCredit_ = 0;
+    std::uint64_t flitsSent_ = 0;
+    std::uint64_t rbBookings_ = 0;
+    std::uint64_t rbNonspec_ = 0;
+    Cycle lastForward_ = 0;
+    std::size_t queueCapacityFlits_;
+};
+
+} // namespace noc
+
+#endif // NOC_CORE_LOFT_SOURCE_HH

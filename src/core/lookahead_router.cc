@@ -1,0 +1,161 @@
+#include "core/lookahead_router.hh"
+
+#include <map>
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+LookaheadRouter::LookaheadRouter(NodeId id, const Mesh2D &mesh,
+                                 const LoftParams &params,
+                                 LoftDataRouter *data)
+    : id_(id), mesh_(mesh), params_(params), data_(data)
+{
+    for (auto &ip : inputs_)
+        ip.vcs.resize(params.laNumVCs);
+    for (auto &op : outputs_) {
+        op.credits.assign(params.laNumVCs, params.laVcDepth);
+        op.vcPick.resize(params.laNumVCs);
+    }
+}
+
+void
+LookaheadRouter::connectInput(Port p, Channel<LaWireFlit> *in,
+                              Channel<LaCredit> *credit_return)
+{
+    inputs_[portIndex(p)].in = in;
+    inputs_[portIndex(p)].creditReturn = credit_return;
+}
+
+void
+LookaheadRouter::connectOutput(Port p, Channel<LaWireFlit> *out,
+                               Channel<LaCredit> *credit_in)
+{
+    outputs_[portIndex(p)].out = out;
+    outputs_[portIndex(p)].creditIn = credit_in;
+}
+
+void
+LookaheadRouter::receiveCredits(Cycle now)
+{
+    for (auto &op : outputs_) {
+        if (!op.creditIn)
+            continue;
+        while (auto c = op.creditIn->tryReceive(now)) {
+            ++op.credits.at(c->vc);
+            if (op.credits[c->vc] > params_.laVcDepth)
+                panic("la-router %u: credit overflow", id_);
+        }
+    }
+}
+
+void
+LookaheadRouter::receiveFlits(Cycle now)
+{
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+        InputPort &ip = inputs_[p];
+        if (!ip.in)
+            continue;
+        while (auto wf = ip.in->tryReceive(now)) {
+            auto &vc = ip.vcs.at(wf->vc);
+            if (vc.size() >= params_.laVcDepth)
+                panic("la-router %u: VC overflow on port %zu", id_, p);
+            vc.push_back({wf->flit, now + params_.routerStages - 1});
+        }
+    }
+}
+
+void
+LookaheadRouter::admitToTables(Cycle now)
+{
+    // Step 1 of the FRS procedure: look-ahead flits that cleared the
+    // router pipeline write the data router's input reservation table
+    // and free their virtual channel. A full table back-pressures the
+    // look-ahead network through withheld credits.
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+        InputPort &ip = inputs_[p];
+        for (std::uint32_t v = 0; v < params_.laNumVCs; ++v) {
+            auto &vc = ip.vcs[v];
+            while (!vc.empty() &&
+                   data_->admitLookahead(static_cast<Port>(p),
+                                         vc.front().flit, now,
+                                         vc.front().readyAt)) {
+                DPRINTF(La, now, "la-router %u: admitted flow %u "
+                        "quantum from port %zu vc %u", id_,
+                        vc.front().flit.flow, p, v);
+                vc.pop_front();
+                if (ip.creditReturn)
+                    ip.creditReturn->send(now, LaCredit{v});
+            }
+        }
+    }
+}
+
+void
+LookaheadRouter::allocateAndSchedule(Cycle now)
+{
+    // Each output port performs at most one output scheduling grant
+    // per cycle, serving the pending quanta of the co-located input
+    // reservation tables (steps 2-4 of the FRS procedure).
+    for (std::size_t outp = 0; outp < kNumPorts; ++outp) {
+        OutputPort &op = outputs_[outp];
+
+        // Downstream look-ahead VC for the forwarded flit (not needed
+        // when the flit terminates here, i.e. outp == Local).
+        std::size_t fwd_vc = RoundRobinArbiter::npos;
+        if (outp != portIndex(Port::Local)) {
+            if (!op.out)
+                continue;
+            std::vector<bool> vc_free(params_.laNumVCs, false);
+            bool any = false;
+            for (std::uint32_t v = 0; v < params_.laNumVCs; ++v) {
+                vc_free[v] = op.credits[v] > 0;
+                any = any || vc_free[v];
+            }
+            if (!any)
+                continue;
+            fwd_vc = op.vcPick.arbitrate(vc_free);
+        }
+
+        // Steps 2-3: the input schedulers (holding the pending quanta
+        // in the input reservation tables) request output scheduling;
+        // flows are served round-robin inside schedulePending. On
+        // success the onward look-ahead flit leaves immediately, so
+        // it always precedes its data flits.
+        LookaheadFlit onward;
+        bool terminal = false;
+        if (!data_->schedulePending(static_cast<Port>(outp), now,
+                                    onward, terminal)) {
+            ++retries_;
+            continue;
+        }
+        if (!terminal) {
+            op.out->send(now, LaWireFlit{onward,
+                         static_cast<std::uint32_t>(fwd_vc)});
+            --op.credits[fwd_vc];
+        }
+    }
+}
+
+void
+LookaheadRouter::tick(Cycle now)
+{
+    receiveCredits(now);
+    receiveFlits(now);
+    admitToTables(now);
+    allocateAndSchedule(now);
+}
+
+std::uint64_t
+LookaheadRouter::bufferedFlits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ip : inputs_)
+        for (const auto &vc : ip.vcs)
+            total += vc.size();
+    return total;
+}
+
+} // namespace noc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The look-ahead network router (Fig. 4, left): a small VC router for
+ * single-flit look-ahead packets. At switch allocation, the winning
+ * look-ahead flit performs output scheduling against the co-located
+ * data router's LSF output scheduler; on failure it stays in its
+ * virtual channel and retries (this is how LSF throttles a flow hop by
+ * hop). On look-ahead flit arrival the data router's input reservation
+ * table is written (step 1 of the FRS procedure).
+ */
+
+#ifndef NOC_CORE_LOOKAHEAD_ROUTER_HH
+#define NOC_CORE_LOOKAHEAD_ROUTER_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "core/data_router.hh"
+#include "core/messages.hh"
+#include "net/channel.hh"
+#include "router/arbiter.hh"
+#include "sim/clocked.hh"
+
+namespace noc
+{
+
+class LookaheadRouter : public Clocked
+{
+  public:
+    LookaheadRouter(NodeId id, const Mesh2D &mesh,
+                    const LoftParams &params, LoftDataRouter *data);
+
+    NodeId id() const { return id_; }
+
+    void connectInput(Port p, Channel<LaWireFlit> *in,
+                      Channel<LaCredit> *credit_return);
+    void connectOutput(Port p, Channel<LaWireFlit> *out,
+                       Channel<LaCredit> *credit_in);
+
+    void tick(Cycle now) override;
+
+    std::uint64_t bufferedFlits() const;
+    std::uint64_t scheduleRetries() const { return retries_; }
+
+  private:
+    struct TimedLa
+    {
+        LookaheadFlit flit;
+        Cycle readyAt;
+    };
+
+    struct InputPort
+    {
+        Channel<LaWireFlit> *in = nullptr;
+        Channel<LaCredit> *creditReturn = nullptr;
+        std::vector<std::deque<TimedLa>> vcs;
+    };
+
+    struct OutputPort
+    {
+        Channel<LaWireFlit> *out = nullptr;
+        Channel<LaCredit> *creditIn = nullptr;
+        std::vector<std::uint32_t> credits;
+        RoundRobinArbiter vcPick;
+    };
+
+    void receiveCredits(Cycle now);
+    void receiveFlits(Cycle now);
+    void admitToTables(Cycle now);
+    void allocateAndSchedule(Cycle now);
+
+    NodeId id_;
+    const Mesh2D &mesh_;
+    LoftParams params_;
+    LoftDataRouter *data_;
+
+    std::array<InputPort, kNumPorts> inputs_;
+    std::array<OutputPort, kNumPorts> outputs_;
+
+    /** Per-output round-robin pointer over flows. */
+    std::array<FlowId, kNumPorts> flowPointer_{};
+
+    std::uint64_t retries_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_CORE_LOOKAHEAD_ROUTER_HH

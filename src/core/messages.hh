@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Wire message types of the two LOFT network planes.
+ */
+
+#ifndef NOC_CORE_MESSAGES_HH
+#define NOC_CORE_MESSAGES_HH
+
+#include "net/flit.hh"
+#include "sim/types.hh"
+
+namespace noc
+{
+
+/**
+ * A data flit in flight, tagged with the downstream buffer it was
+ * admitted to (speculative vs non-speculative, Section 4.3.1).
+ */
+struct DataWireFlit
+{
+    Flit flit;
+    bool spec = false;
+};
+
+/**
+ * Virtual credit returned by a downstream input scheduler once the
+ * onward departure of a quantum has been scheduled; carries the onward
+ * departure slot (absolute), from which the freed buffer space counts.
+ */
+struct VirtualCreditMsg
+{
+    Slot departSlot = 0;
+};
+
+/** One buffer slot physically freed downstream (flit granularity). */
+struct ActualCreditMsg
+{
+    bool spec = false;
+};
+
+/** A look-ahead flit on the wire, tagged with its virtual channel. */
+struct LaWireFlit
+{
+    LookaheadFlit flit;
+    std::uint32_t vc = 0;
+};
+
+/** Credit of the look-ahead network. */
+struct LaCredit
+{
+    std::uint32_t vc = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_CORE_MESSAGES_HH

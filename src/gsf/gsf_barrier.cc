@@ -1,0 +1,59 @@
+#include "gsf/gsf_barrier.hh"
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+GsfBarrier::GsfBarrier(std::uint32_t window_frames, Cycle barrier_delay)
+    : window_(window_frames), delay_(barrier_delay)
+{
+    if (window_frames < 2)
+        fatal("GsfBarrier: window must have at least 2 frames");
+}
+
+void
+GsfBarrier::onPacketAdmitted(std::uint64_t frame, std::uint32_t flits)
+{
+    if (frame < head_ || frame > newestFrame())
+        panic("GsfBarrier: admission into inactive frame %llu "
+              "(head %llu)", static_cast<unsigned long long>(frame),
+              static_cast<unsigned long long>(head_));
+    inFlight_[frame] += flits;
+    totalInFlight_ += flits;
+}
+
+void
+GsfBarrier::onFlitEjected(std::uint64_t frame)
+{
+    auto it = inFlight_.find(frame);
+    if (it == inFlight_.end() || it->second == 0)
+        panic("GsfBarrier: ejection from empty frame %llu",
+              static_cast<unsigned long long>(frame));
+    --it->second;
+    --totalInFlight_;
+    if (it->second == 0)
+        inFlight_.erase(it);
+}
+
+void
+GsfBarrier::tick(Cycle now)
+{
+    if (advanceAt_ != kNeverCycle) {
+        if (now >= advanceAt_) {
+            ++head_;
+            ++recycles_;
+            advanceAt_ = kNeverCycle;
+            DPRINTF(Gsf, now, "barrier: head frame -> %llu",
+                    static_cast<unsigned long long>(head_));
+        }
+        return;
+    }
+    // Head frame drained? Start the barrier broadcast.
+    const auto it = inFlight_.find(head_);
+    if (it == inFlight_.end() || it->second == 0)
+        advanceAt_ = now + delay_;
+}
+
+} // namespace noc

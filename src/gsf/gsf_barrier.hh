@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The global barrier network of GSF: detects when the head frame has
+ * drained from the network and, after the barrier broadcast delay,
+ * advances the globally synchronized frame window.
+ */
+
+#ifndef NOC_GSF_GSF_BARRIER_HH
+#define NOC_GSF_GSF_BARRIER_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "sim/clocked.hh"
+#include "sim/types.hh"
+
+namespace noc
+{
+
+class GsfBarrier : public Clocked
+{
+  public:
+    GsfBarrier(std::uint32_t window_frames, Cycle barrier_delay);
+
+    /** Absolute number of the head (oldest active) frame. */
+    std::uint64_t headFrame() const { return head_; }
+
+    /** Absolute number of the newest active frame. */
+    std::uint64_t newestFrame() const { return head_ + window_ - 1; }
+
+    /** A source admitted a packet into @p frame (counts its flits). */
+    void onPacketAdmitted(std::uint64_t frame, std::uint32_t flits);
+
+    /** A sink ejected a flit tagged @p frame. */
+    void onFlitEjected(std::uint64_t frame);
+
+    /** Total flits still owned by active frames. */
+    std::uint64_t inFlightFlits() const { return totalInFlight_; }
+
+    /** Number of window advances so far (diagnostics). */
+    std::uint64_t recycleCount() const { return recycles_; }
+
+    void tick(Cycle now) override;
+
+  private:
+    std::uint32_t window_;
+    Cycle delay_;
+    std::uint64_t head_ = 0;
+    /** In-flight flit count per absolute frame. */
+    std::unordered_map<std::uint64_t, std::uint64_t> inFlight_;
+    std::uint64_t totalInFlight_ = 0;
+    /** Cycle at which a pending advance completes (kNeverCycle: none). */
+    Cycle advanceAt_ = kNeverCycle;
+    std::uint64_t recycles_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_GSF_GSF_BARRIER_HH

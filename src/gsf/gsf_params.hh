@@ -1,0 +1,37 @@
+/**
+ * @file
+ * GSF configuration (Table 1 of the paper).
+ */
+
+#ifndef NOC_GSF_GSF_PARAMS_HH
+#define NOC_GSF_GSF_PARAMS_HH
+
+#include "router/wormhole_router.hh"
+#include "sim/types.hh"
+
+namespace noc
+{
+
+struct GsfParams
+{
+    /** Router parameters suggested by [13]/[19]: 6 VCs x 5 flits. */
+    WormholeParams router{
+        .numVCs = 6,
+        .vcDepthFlits = 5,
+        .routerStages = 3,
+        .linkLatency = 1,
+        .atomicVcReuse = true,
+    };
+    /** Frame size in flits. */
+    std::uint32_t frameSizeFlits = 2000;
+    /** Number of on-the-fly frames (frame window). */
+    std::uint32_t windowFrames = 6;
+    /** Barrier network broadcast delay in cycles. */
+    Cycle barrierDelay = 16;
+    /** Per-node source queue capacity in flits. */
+    std::size_t sourceQueueFlits = 2000;
+};
+
+} // namespace noc
+
+#endif // NOC_GSF_GSF_PARAMS_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * GSF source: the per-node injection unit enforcing per-flow, per-frame
+ * reservations against the globally synchronized frame window.
+ */
+
+#ifndef NOC_GSF_GSF_SOURCE_HH
+#define NOC_GSF_GSF_SOURCE_HH
+
+#include <unordered_map>
+
+#include "gsf/gsf_barrier.hh"
+#include "gsf/gsf_params.hh"
+#include "router/source_unit.hh"
+
+namespace noc
+{
+
+class GsfSourceUnit : public SourceUnit
+{
+  public:
+    GsfSourceUnit(NodeId node, const GsfParams &params,
+                  Channel<WireFlit> *out, Channel<Credit> *credit_in,
+                  GsfBarrier *barrier);
+
+    /** Declare a flow originating at this node with quota R (flits). */
+    void addFlow(FlowId flow, std::uint32_t reservation_flits);
+
+  protected:
+    bool allowStart(const Packet &pkt, Cycle now,
+                    std::uint64_t &frame_tag) override;
+
+  private:
+    struct FlowInjectState
+    {
+        std::uint32_t reservation = 0;
+        /** Absolute frame the flow is currently injecting into. */
+        std::uint64_t injFrame = 0;
+        /** Remaining reservation in injFrame (flits). */
+        std::uint32_t quota = 0;
+    };
+
+    GsfBarrier *barrier_;
+    std::unordered_map<FlowId, FlowInjectState> flows_;
+};
+
+} // namespace noc
+
+#endif // NOC_GSF_GSF_SOURCE_HH

@@ -1,0 +1,117 @@
+#include "harness/experiment.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+namespace noc
+{
+
+void
+RunConfig::applyEnvScale()
+{
+    const char *env = std::getenv("LOFT_SIM_SCALE");
+    if (!env)
+        return;
+    const double scale = std::atof(env);
+    if (scale <= 0.0) {
+        warn("ignoring invalid LOFT_SIM_SCALE=%s", env);
+        return;
+    }
+    warmupCycles = static_cast<Cycle>(warmupCycles * scale);
+    measureCycles = static_cast<Cycle>(measureCycles * scale);
+}
+
+std::vector<FlowRate>
+uniformRates(std::size_t num_flows, double flits_per_cycle)
+{
+    std::vector<FlowRate> rates(num_flows);
+    for (auto &r : rates)
+        r.flitsPerCycle = flits_per_cycle;
+    return rates;
+}
+
+RunResult
+runExperiment(const RunConfig &config, const TrafficPattern &pattern,
+              const std::vector<FlowRate> &rates)
+{
+    Mesh2D mesh(config.meshWidth, config.meshHeight);
+    std::unique_ptr<Network> net;
+    LoftNetwork *loft = nullptr;
+    GsfNetwork *gsf = nullptr;
+
+    switch (config.kind) {
+      case NetKind::Loft: {
+        auto p = std::make_unique<LoftNetwork>(mesh, config.loft);
+        loft = p.get();
+        net = std::move(p);
+        break;
+      }
+      case NetKind::Gsf: {
+        auto p = std::make_unique<GsfNetwork>(mesh, config.gsf);
+        gsf = p.get();
+        net = std::move(p);
+        break;
+      }
+      case NetKind::Wormhole:
+        net = std::make_unique<WormholeNetwork>(
+            mesh, config.wormhole, config.wormholeSourceQueueFlits);
+        break;
+    }
+
+    net->registerFlows(pattern.flows);
+
+    TrafficGenerator gen(*net, config.packetSizeFlits, config.seed);
+    gen.configure(pattern.flows, rates);
+
+    Simulator sim;
+    sim.add(&gen);
+    net->attach(sim);
+
+    sim.run(config.warmupCycles);
+    net->metrics().startMeasurement(sim.now());
+    sim.run(config.measureCycles);
+    net->metrics().stopMeasurement(sim.now());
+
+    const MetricsCollector &m = net->metrics();
+    RunResult r;
+    r.avgPacketLatency = m.avgPacketLatency();
+    r.maxPacketLatency = m.maxPacketLatency();
+    r.p50PacketLatency = m.packetLatencyPercentile(0.50);
+    r.p95PacketLatency = m.packetLatencyPercentile(0.95);
+    r.p99PacketLatency = m.packetLatencyPercentile(0.99);
+    r.networkThroughput = m.networkThroughput(mesh.numNodes());
+    r.totalFlits = m.totalFlits();
+    r.totalPackets = m.totalPackets();
+    for (std::size_t i = 0; i < pattern.flows.size(); ++i) {
+        const FlowId id = pattern.flows[i].id;
+        r.flowThroughput.push_back(m.flowThroughput(id));
+        r.flowAvgLatency.push_back(m.flow(id).packetLatency.mean());
+        r.flowMaxLatency.push_back(m.flow(id).packetLatency.max());
+    }
+    if (loft) {
+        r.linkUtilization =
+            loft->linkUtilization(config.warmupCycles +
+                                  config.measureCycles);
+        r.localResets = loft->totalLocalResets();
+        r.speculativeForwards = loft->totalSpeculativeForwards();
+        r.emergentForwards = loft->totalEmergentForwards();
+        r.anomalyViolations = loft->totalAnomalyViolations();
+        r.missedSlots = loft->totalMissedSlots();
+    }
+    if (gsf)
+        r.frameRecycles = gsf->barrier().recycleCount();
+    return r;
+}
+
+RunResult
+runExperiment(const RunConfig &config, const TrafficPattern &pattern,
+              double flits_per_cycle)
+{
+    return runExperiment(config, pattern,
+                         uniformRates(pattern.flows.size(),
+                                      flits_per_cycle));
+}
+
+} // namespace noc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Experiment harness shared by benches, examples and integration
+ * tests: builds one of the three networks, drives a traffic pattern,
+ * and collects the metrics the paper reports.
+ */
+
+#ifndef NOC_HARNESS_EXPERIMENT_HH
+#define NOC_HARNESS_EXPERIMENT_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/loft_network.hh"
+#include "gsf/gsf_network.hh"
+#include "router/wormhole_network.hh"
+#include "traffic/generator.hh"
+#include "traffic/pattern.hh"
+
+namespace noc
+{
+
+/** Which network architecture to simulate. */
+enum class NetKind
+{
+    Loft,
+    Gsf,
+    Wormhole,
+};
+
+struct RunConfig
+{
+    NetKind kind = NetKind::Loft;
+    std::uint32_t meshWidth = 8;
+    std::uint32_t meshHeight = 8;
+    std::uint32_t packetSizeFlits = 4;
+    Cycle warmupCycles = 20000;
+    Cycle measureCycles = 30000;
+    std::uint64_t seed = 1;
+
+    LoftParams loft;
+    GsfParams gsf;
+    WormholeParams wormhole;
+    std::size_t wormholeSourceQueueFlits = 0;
+
+    /**
+     * Honour the LOFT_SIM_SCALE environment variable (a positive float
+     * multiplying warmup/measure cycles) for quick smoke runs.
+     */
+    void applyEnvScale();
+};
+
+struct RunResult
+{
+    double avgPacketLatency = 0.0;
+    double maxPacketLatency = 0.0;
+    /** 50th / 95th / 99th percentile packet latency (cycles). */
+    double p50PacketLatency = 0.0;
+    double p95PacketLatency = 0.0;
+    double p99PacketLatency = 0.0;
+    /** Accepted network throughput in flits/cycle/node. */
+    double networkThroughput = 0.0;
+    std::vector<double> flowThroughput;
+    std::vector<double> flowAvgLatency;
+    std::vector<double> flowMaxLatency;
+    std::uint64_t totalFlits = 0;
+    std::uint64_t totalPackets = 0;
+
+    /// @name LOFT-specific diagnostics (zero for other networks)
+    /// @{
+    std::uint64_t localResets = 0;
+    std::uint64_t speculativeForwards = 0;
+    std::uint64_t emergentForwards = 0;
+    std::uint64_t anomalyViolations = 0;
+    std::uint64_t missedSlots = 0;
+    /// @}
+
+    /// @name GSF-specific diagnostics
+    /// @{
+    std::uint64_t frameRecycles = 0;
+    /// @}
+
+    /**
+     * LOFT only: per-link utilization over the measurement window,
+     * node-major / port-minor (see LoftNetwork::linkUtilization).
+     */
+    std::vector<double> linkUtilization;
+};
+
+/**
+ * Build the configured network, register the pattern's flows, warm up,
+ * measure, and report. @p rates is parallel to pattern.flows.
+ */
+RunResult runExperiment(const RunConfig &config,
+                        const TrafficPattern &pattern,
+                        const std::vector<FlowRate> &rates);
+
+/** Convenience: run with a single Bernoulli rate for all flows. */
+RunResult runExperiment(const RunConfig &config,
+                        const TrafficPattern &pattern,
+                        double flits_per_cycle);
+
+/** Build rate vectors. */
+std::vector<FlowRate> uniformRates(std::size_t num_flows,
+                                   double flits_per_cycle);
+
+} // namespace noc
+
+#endif // NOC_HARNESS_EXPERIMENT_HH

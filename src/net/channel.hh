@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Point-to-point pipelined channel with fixed latency.
+ *
+ * Channels are the only way clocked components may exchange state. With
+ * latency >= 1 a message sent in cycle t becomes visible no earlier than
+ * cycle t+1, which makes the per-cycle tick order of components
+ * irrelevant (synchronous-hardware semantics).
+ */
+
+#ifndef NOC_NET_CHANNEL_HH
+#define NOC_NET_CHANNEL_HH
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace noc
+{
+
+/**
+ * A FIFO wire carrying values of type T with a fixed delivery latency.
+ * One send per cycle is the physical norm (1 flit/cycle links), but the
+ * channel itself does not enforce it; senders do.
+ */
+template <typename T>
+class Channel
+{
+  public:
+    explicit Channel(Cycle latency = 1) : latency_(latency)
+    {
+        if (latency == 0)
+            panic("Channel latency must be >= 1");
+    }
+
+    /** Send @p value at cycle @p now; arrives at now + latency. */
+    void
+    send(Cycle now, T value)
+    {
+        inFlight_.push_back({now + latency_, std::move(value)});
+    }
+
+    /** True if a value is deliverable at cycle @p now. */
+    bool
+    ready(Cycle now) const
+    {
+        return !inFlight_.empty() && inFlight_.front().first <= now;
+    }
+
+    /** Peek the deliverable value. @pre ready(now). */
+    const T &
+    peek(Cycle now) const
+    {
+        if (!ready(now))
+            panic("Channel::peek with nothing deliverable");
+        return inFlight_.front().second;
+    }
+
+    /** Remove and return the deliverable value. @pre ready(now). */
+    T
+    receive(Cycle now)
+    {
+        if (!ready(now))
+            panic("Channel::receive with nothing deliverable");
+        T v = std::move(inFlight_.front().second);
+        inFlight_.pop_front();
+        return v;
+    }
+
+    /** Receive if ready, else nullopt. */
+    std::optional<T>
+    tryReceive(Cycle now)
+    {
+        if (!ready(now))
+            return std::nullopt;
+        return receive(now);
+    }
+
+    /** Number of values still in flight (any readiness). */
+    std::size_t inFlightCount() const { return inFlight_.size(); }
+
+    bool empty() const { return inFlight_.empty(); }
+
+    Cycle latency() const { return latency_; }
+
+  private:
+    Cycle latency_;
+    std::deque<std::pair<Cycle, T>> inFlight_;
+};
+
+/** Credit message for conventional credit-based VC flow control. */
+struct Credit
+{
+    /** Virtual channel the credit belongs to. */
+    std::uint32_t vc = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_NET_CHANNEL_HH

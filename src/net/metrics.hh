@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Run-time measurement: per-flow latency and throughput accounting with
+ * a warmup gate.
+ */
+
+#ifndef NOC_NET_METRICS_HH
+#define NOC_NET_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace noc
+{
+
+/** Aggregated measurement results for one flow. */
+struct FlowMetrics
+{
+    std::uint64_t packetsEjected = 0;
+    std::uint64_t flitsEjected = 0;
+    RunningStat packetLatency;
+};
+
+/**
+ * Collects ejection-side measurements. Sinks call the onXxx hooks; the
+ * harness turns on measurement after warmup and reads the results.
+ */
+class MetricsCollector
+{
+  public:
+    explicit MetricsCollector(std::size_t num_flows = 0);
+
+    void resizeFlows(std::size_t num_flows);
+
+    /** Begin the measurement window at cycle @p now (clears samples). */
+    void startMeasurement(Cycle now);
+
+    /** End the measurement window at cycle @p now. */
+    void stopMeasurement(Cycle now);
+
+    bool measuring() const { return measuring_; }
+
+    /** A data flit of @p flow was ejected. */
+    void onFlitEjected(FlowId flow);
+
+    /** The tail flit of a packet was ejected; record its latency. */
+    void onPacketEjected(FlowId flow, Cycle created_at, Cycle now);
+
+    /** Length of the (closed) measurement window in cycles. */
+    Cycle windowCycles() const;
+
+    const FlowMetrics &flow(FlowId f) const { return flows_.at(f); }
+    std::size_t numFlows() const { return flows_.size(); }
+
+    std::uint64_t totalFlits() const { return totalFlits_; }
+    std::uint64_t totalPackets() const { return totalPackets_; }
+
+    /** Mean packet latency over all flows (cycles). */
+    double avgPacketLatency() const;
+
+    /** Latency percentile over all packets in the window (cycles). */
+    double packetLatencyPercentile(double p) const;
+
+    /** Max packet latency seen in the window (cycles). */
+    double maxPacketLatency() const;
+
+    /**
+     * Accepted throughput of one flow in flits/cycle over the window.
+     * @pre the measurement window is closed or @p now is supplied.
+     */
+    double flowThroughput(FlowId f) const;
+
+    /** Network-wide accepted throughput in flits/cycle/node. */
+    double networkThroughput(std::size_t num_nodes) const;
+
+  private:
+    std::vector<FlowMetrics> flows_;
+    RunningStat allLatency_;
+    Histogram latencyHist_{16.0, 2048};
+    std::uint64_t totalFlits_ = 0;
+    std::uint64_t totalPackets_ = 0;
+    bool measuring_ = false;
+    Cycle windowStart_ = 0;
+    Cycle windowEnd_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_NET_METRICS_HH

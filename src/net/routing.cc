@@ -1,0 +1,44 @@
+#include "net/routing.hh"
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+Port
+xyRoute(const Mesh2D &mesh, NodeId here, NodeId dst)
+{
+    const std::uint32_t hx = mesh.xOf(here);
+    const std::uint32_t hy = mesh.yOf(here);
+    const std::uint32_t dx = mesh.xOf(dst);
+    const std::uint32_t dy = mesh.yOf(dst);
+
+    if (hx < dx)
+        return Port::East;
+    if (hx > dx)
+        return Port::West;
+    if (hy < dy)
+        return Port::North;
+    if (hy > dy)
+        return Port::South;
+    return Port::Local;
+}
+
+std::vector<RouteHop>
+xyPath(const Mesh2D &mesh, NodeId src, NodeId dst)
+{
+    std::vector<RouteHop> path;
+    NodeId here = src;
+    for (;;) {
+        const Port out = xyRoute(mesh, here, dst);
+        path.push_back({here, out});
+        if (out == Port::Local)
+            break;
+        here = mesh.neighbor(here, out);
+        if (path.size() > mesh.numNodes())
+            panic("xyPath did not terminate (src=%u dst=%u)", src, dst);
+    }
+    return path;
+}
+
+} // namespace noc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Deterministic dimension-order (XY) routing for 2-D meshes.
+ */
+
+#ifndef NOC_NET_ROUTING_HH
+#define NOC_NET_ROUTING_HH
+
+#include <vector>
+
+#include "net/topology.hh"
+#include "sim/types.hh"
+
+namespace noc
+{
+
+/**
+ * Compute the output port taken at node @p here for a packet headed to
+ * @p dst under XY dimension-order routing. Returns Port::Local when
+ * here == dst.
+ */
+Port xyRoute(const Mesh2D &mesh, NodeId here, NodeId dst);
+
+/**
+ * The complete XY route of a flow as the sequence of (node, outputPort)
+ * pairs, ending with (dst, Local) for ejection. The first element is
+ * (src, firstHopPort).
+ */
+struct RouteHop
+{
+    NodeId node;
+    Port out;
+};
+
+std::vector<RouteHop> xyPath(const Mesh2D &mesh, NodeId src, NodeId dst);
+
+} // namespace noc
+
+#endif // NOC_NET_ROUTING_HH

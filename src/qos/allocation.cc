@@ -1,0 +1,131 @@
+#include "qos/allocation.hh"
+
+#include <unordered_map>
+
+#include "net/routing.hh"
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+namespace
+{
+
+/** Dense link id for (node, port). */
+std::size_t
+linkId(NodeId node, Port p)
+{
+    return node * kNumPorts + portIndex(p);
+}
+
+/**
+ * Apply @p fn to every link (node, outPort) used by @p flow.
+ * Random-destination flows touch every link.
+ */
+template <typename Fn>
+void
+forEachLink(const FlowSpec &flow, const Mesh2D &mesh, Fn &&fn)
+{
+    if (flow.randomDst()) {
+        for (NodeId n = 0; n < mesh.numNodes(); ++n)
+            for (std::size_t p = 0; p < kNumPorts; ++p)
+                fn(linkId(n, static_cast<Port>(p)));
+        return;
+    }
+    for (const RouteHop &hop : xyPath(mesh, flow.src, flow.dst))
+        fn(linkId(hop.node, hop.out));
+}
+
+} // namespace
+
+std::uint32_t
+maxLinkContention(const std::vector<FlowSpec> &flows, const Mesh2D &mesh)
+{
+    std::vector<std::uint32_t> count(mesh.numNodes() * kNumPorts, 0);
+    for (const FlowSpec &f : flows)
+        forEachLink(f, mesh, [&](std::size_t l) { ++count[l]; });
+    std::uint32_t best = 0;
+    for (std::uint32_t c : count)
+        best = std::max(best, c);
+    return best;
+}
+
+void
+setEqualShares(std::vector<FlowSpec> &flows, double share)
+{
+    for (FlowSpec &f : flows)
+        f.bwShare = share;
+}
+
+void
+setEqualSharesByMaxFlows(std::vector<FlowSpec> &flows,
+                         std::uint32_t max_flows)
+{
+    if (max_flows == 0)
+        fatal("setEqualSharesByMaxFlows: max_flows must be positive");
+    setEqualShares(flows, 1.0 / max_flows);
+}
+
+void
+setGroupWeightedShares(TrafficPattern &pattern, const Mesh2D &mesh,
+                       const std::vector<double> &group_weights)
+{
+    if (pattern.groups.size() != pattern.flows.size())
+        fatal("setGroupWeightedShares: pattern groups missing");
+    // Weighted load of the most contended link.
+    std::vector<double> load(mesh.numNodes() * kNumPorts, 0.0);
+    for (std::size_t i = 0; i < pattern.flows.size(); ++i) {
+        const double w = group_weights.at(pattern.groups[i]);
+        forEachLink(pattern.flows[i], mesh,
+                    [&](std::size_t l) { load[l] += w; });
+    }
+    double max_load = 0.0;
+    for (double l : load)
+        max_load = std::max(max_load, l);
+    if (max_load <= 0.0)
+        fatal("setGroupWeightedShares: zero weighted load");
+    for (std::size_t i = 0; i < pattern.flows.size(); ++i) {
+        pattern.flows[i].bwShare =
+            group_weights.at(pattern.groups[i]) / max_load;
+    }
+}
+
+bool
+validateShares(const std::vector<FlowSpec> &flows, const Mesh2D &mesh,
+               double tolerance)
+{
+    std::vector<double> load(mesh.numNodes() * kNumPorts, 0.0);
+    for (const FlowSpec &f : flows)
+        forEachLink(f, mesh, [&](std::size_t l) { load[l] += f.bwShare; });
+    for (double l : load) {
+        if (l > 1.0 + tolerance)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::uint32_t>
+quadrantPartition(const Mesh2D &mesh)
+{
+    std::vector<std::uint32_t> part(mesh.numNodes());
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        const bool east = mesh.xOf(n) >= mesh.width() / 2;
+        const bool north = mesh.yOf(n) >= mesh.height() / 2;
+        part[n] = (north ? 2u : 0u) + (east ? 1u : 0u);
+    }
+    return part;
+}
+
+std::vector<std::uint32_t>
+diagonalPartition(const Mesh2D &mesh)
+{
+    std::vector<std::uint32_t> part(mesh.numNodes());
+    const auto quad = quadrantPartition(mesh);
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        // Quadrants SW(0) and NE(3) form group 0; the others group 1.
+        part[n] = (quad[n] == 0 || quad[n] == 3) ? 0u : 1u;
+    }
+    return part;
+}
+
+} // namespace noc

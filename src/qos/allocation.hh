@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reservation allocation: translate a traffic pattern into per-flow
+ * bandwidth shares (R_ij / F) under the paper's rule that a flow uses
+ * the same reservation on every link of its path and that the shares
+ * of the flows contending for any link sum to at most 1.
+ */
+
+#ifndef NOC_QOS_ALLOCATION_HH
+#define NOC_QOS_ALLOCATION_HH
+
+#include <vector>
+
+#include "net/network.hh"
+#include "net/topology.hh"
+#include "traffic/pattern.hh"
+
+namespace noc
+{
+
+/**
+ * Number of flows crossing the most contended link of the pattern
+ * (random-destination flows count on every link).
+ */
+std::uint32_t maxLinkContention(const std::vector<FlowSpec> &flows,
+                                const Mesh2D &mesh);
+
+/** Give every flow the same share (e.g. 1/64 for Table 1's 64 flows). */
+void setEqualShares(std::vector<FlowSpec> &flows, double share);
+
+/**
+ * Equal allocation with no prior knowledge of the traffic: every flow
+ * receives 1 / maxFlows of each link (the paper's default of F/64).
+ */
+void setEqualSharesByMaxFlows(std::vector<FlowSpec> &flows,
+                              std::uint32_t max_flows);
+
+/**
+ * Differentiated allocation (Fig. 10b/c): each flow's share is
+ * proportional to its group weight, normalized so the most loaded link
+ * is exactly fully reserved.
+ */
+void setGroupWeightedShares(TrafficPattern &pattern, const Mesh2D &mesh,
+                            const std::vector<double> &group_weights);
+
+/** Verify sum(shares) <= 1 on every link. */
+bool validateShares(const std::vector<FlowSpec> &flows,
+                    const Mesh2D &mesh, double tolerance = 1e-9);
+
+/** Node -> quadrant index (0..3): Fig. 10b's four partitions. */
+std::vector<std::uint32_t> quadrantPartition(const Mesh2D &mesh);
+
+/**
+ * Node -> 2-group partition with NW+SE quadrants in group 0 and
+ * NE+SW in group 1 (Fig. 10c).
+ */
+std::vector<std::uint32_t> diagonalPartition(const Mesh2D &mesh);
+
+} // namespace noc
+
+#endif // NOC_QOS_ALLOCATION_HH

@@ -1,0 +1,29 @@
+#include "qos/delay_bound.hh"
+
+namespace noc
+{
+
+Cycle
+loftWorstCaseLatency(const LoftParams &params, std::uint32_t num_hops)
+{
+    return static_cast<Cycle>(params.frameSizeFlits) *
+           params.windowFrames * num_hops;
+}
+
+Cycle
+gsfWorstCaseLatency(const GsfParams &params,
+                    std::uint32_t flow_control_factor)
+{
+    return static_cast<Cycle>(flow_control_factor) * params.windowFrames *
+           params.frameSizeFlits;
+}
+
+std::uint32_t
+flowHops(const Mesh2D &mesh, NodeId src, NodeId dst)
+{
+    // src -> ... -> dst traverses hopDistance router-to-router links
+    // plus the ejection link.
+    return mesh.hopDistance(src, dst) + 1;
+}
+
+} // namespace noc

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Analytical worst-case delay bounds (Section 5.3.1).
+ */
+
+#ifndef NOC_QOS_DELAY_BOUND_HH
+#define NOC_QOS_DELAY_BOUND_HH
+
+#include "core/loft_params.hh"
+#include "gsf/gsf_params.hh"
+#include "net/topology.hh"
+
+namespace noc
+{
+
+/**
+ * LOFT / RCQ worst-case end-to-end latency in cycles for a flow
+ * traversing @p num_hops links (equation (2)): F * WF * hops. With the
+ * Table 1 parameters this is 512 cycles per hop.
+ */
+Cycle loftWorstCaseLatency(const LoftParams &params,
+                           std::uint32_t num_hops);
+
+/**
+ * GSF worst-case frame-window drain time in cycles: k * WF * F, with
+ * flow-control overhead factor k (2 for the modelled router). Amounts
+ * to 24000 cycles for Table 1's parameters, independent of the path.
+ */
+Cycle gsfWorstCaseLatency(const GsfParams &params,
+                          std::uint32_t flow_control_factor = 2);
+
+/** Hop count of a flow under XY routing (links, incl. ejection). */
+std::uint32_t flowHops(const Mesh2D &mesh, NodeId src, NodeId dst);
+
+} // namespace noc
+
+#endif // NOC_QOS_DELAY_BOUND_HH

@@ -1,0 +1,36 @@
+#include "qos/group_metrics.hh"
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+std::vector<GroupSummary>
+groupThroughputSummaries(const MetricsCollector &metrics,
+                         const TrafficPattern &pattern)
+{
+    if (pattern.groups.size() != pattern.flows.size())
+        fatal("groupThroughputSummaries: pattern groups missing");
+    std::uint32_t num_groups = 0;
+    for (std::uint32_t g : pattern.groups)
+        num_groups = std::max(num_groups, g + 1);
+
+    std::vector<std::vector<double>> samples(num_groups);
+    for (std::size_t i = 0; i < pattern.flows.size(); ++i) {
+        samples[pattern.groups[i]].push_back(
+            metrics.flowThroughput(pattern.flows[i].id));
+    }
+
+    std::vector<GroupSummary> out;
+    for (std::uint32_t g = 0; g < num_groups; ++g) {
+        GroupSummary s;
+        s.name = g < pattern.groupNames.size()
+            ? pattern.groupNames[g] : csprintf("group%u", g);
+        s.throughput = summarizeFairness(samples[g]);
+        s.flowCount = samples[g].size();
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace noc

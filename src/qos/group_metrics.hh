@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Per-group fairness summaries over measured flow throughputs (the
+ * MAX / MIN / AVG / STDEV tables of Fig. 10).
+ */
+
+#ifndef NOC_QOS_GROUP_METRICS_HH
+#define NOC_QOS_GROUP_METRICS_HH
+
+#include <string>
+#include <vector>
+
+#include "net/metrics.hh"
+#include "sim/stats.hh"
+#include "traffic/pattern.hh"
+
+namespace noc
+{
+
+struct GroupSummary
+{
+    std::string name;
+    FairnessSummary throughput;
+    std::size_t flowCount = 0;
+};
+
+/** Summarize per-flow accepted throughput for each group of a pattern. */
+std::vector<GroupSummary>
+groupThroughputSummaries(const MetricsCollector &metrics,
+                         const TrafficPattern &pattern);
+
+} // namespace noc
+
+#endif // NOC_QOS_GROUP_METRICS_HH

@@ -1,0 +1,90 @@
+#include "qos/hw_cost.hh"
+
+#include <cmath>
+
+namespace noc
+{
+
+namespace
+{
+
+std::uint32_t
+bitsFor(std::uint64_t values)
+{
+    std::uint32_t bits = 0;
+    while ((1ull << bits) < values)
+        ++bits;
+    return bits == 0 ? 1 : bits;
+}
+
+} // namespace
+
+GsfStorage
+gsfRouterStorage(const GsfParams &params, std::uint32_t flit_bits)
+{
+    GsfStorage s;
+    // One source queue per node, sized to the frame (2000 flits).
+    s.sourceQueue =
+        static_cast<std::uint64_t>(params.sourceQueueFlits) * flit_bits;
+    // VC buffers on the 4 network ports.
+    s.virtualChannels = static_cast<std::uint64_t>(params.router.numVCs) *
+        params.router.vcDepthFlits * flit_bits * kBufferedPorts;
+    // Per-flow injection accounting at the source: frame pointer and
+    // credit counters for the active window.
+    const std::uint32_t frame_bits = bitsFor(params.windowFrames) +
+        bitsFor(params.frameSizeFlits);
+    s.flowState = static_cast<std::uint64_t>(64) * frame_bits;
+    return s;
+}
+
+LoftStorage
+loftRouterStorage(const LoftParams &params, std::uint32_t flit_bits)
+{
+    LoftStorage s;
+    // Central + speculative buffers on the 4 network ports.
+    s.inputBuffers = static_cast<std::uint64_t>(
+        params.centralBufferFlits + params.specBufferFlits) *
+        flit_bits * kBufferedPorts;
+
+    // Output reservation tables: per entry a busy flag, a virtual
+    // credit counter, and the booking identity (flow + quantum tag).
+    const std::uint32_t credit_bits = bitsFor(params.bufferQuanta() + 1);
+    const std::uint32_t flow_bits = bitsFor(params.maxFlows);
+    const std::uint32_t entry_bits = 1 + credit_bits + flow_bits +
+        bitsFor(params.windowSlots()) + 16; // input-table mirror fields
+    s.reservationTables = static_cast<std::uint64_t>(
+        params.windowSlots()) * entry_bits * kBufferedPorts;
+
+    // Per-flow scheduler state (IF, C, R) on every output port plus the
+    // head/current pointers.
+    const std::uint32_t per_flow = bitsFor(params.windowFrames) +
+        2 * bitsFor(params.frameSlots() + 1);
+    s.flowState = static_cast<std::uint64_t>(params.maxFlows) * per_flow /
+        2; // Table 2 counts aggregate scheduler state per router
+    s.flowState += bitsFor(params.windowSlots()) +
+        bitsFor(params.windowFrames);
+
+    // Look-ahead network VC buffers (32-bit flits, Section 5.1.1).
+    s.lookaheadNetwork = static_cast<std::uint64_t>(params.laNumVCs) *
+        params.laVcDepth * kLookaheadFlitBits * kBufferedPorts;
+    return s;
+}
+
+NocCost
+estimateNocCost(std::uint64_t per_router_storage_bits,
+                std::uint32_t num_nodes)
+{
+    // Calibrated to Section 5.3.2: a 64-node LOFT NoC (~184 kbit per
+    // router) evaluates to 32 mm^2 and 50 W. Proxy for McPAT (see
+    // DESIGN.md).
+    constexpr double kRefBits = 184203.0;
+    constexpr double kRefNodes = 64.0;
+    constexpr double kRefAreaMm2 = 32.0;
+    constexpr double kRefPowerW = 50.0;
+    const double scale =
+        (static_cast<double>(per_router_storage_bits) / kRefBits) *
+        (static_cast<double>(num_nodes) / kRefNodes);
+    return NocCost{kRefAreaMm2 * scale, kRefPowerW * scale};
+}
+
+} // namespace noc

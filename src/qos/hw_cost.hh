@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hardware cost model (Table 2 and Section 5.3.2).
+ *
+ * Storage is computed in bits from the architectural parameters, per
+ * router, following the accounting of Table 2 (4 network ports per
+ * router carry buffered state; look-ahead flit payloads are the 32-bit
+ * format of Section 5.1.1).
+ *
+ * Area and power are a closed-form proxy replacing McPAT: calibrated so
+ * the default 64-node LOFT NoC evaluates to the paper's 32 mm^2 and
+ * 50 W, and scaled linearly in storage bits and node count. See
+ * DESIGN.md ("Substitutions").
+ */
+
+#ifndef NOC_QOS_HW_COST_HH
+#define NOC_QOS_HW_COST_HH
+
+#include <cstdint>
+
+#include "core/loft_params.hh"
+#include "gsf/gsf_params.hh"
+
+namespace noc
+{
+
+/** Per-router storage breakdown for GSF (bits). */
+struct GsfStorage
+{
+    std::uint64_t sourceQueue = 0;
+    std::uint64_t virtualChannels = 0;
+    std::uint64_t flowState = 0;
+    std::uint64_t total() const
+    {
+        return sourceQueue + virtualChannels + flowState;
+    }
+};
+
+/** Per-router storage breakdown for LOFT (bits). */
+struct LoftStorage
+{
+    std::uint64_t inputBuffers = 0;
+    std::uint64_t reservationTables = 0;
+    std::uint64_t flowState = 0;
+    std::uint64_t lookaheadNetwork = 0;
+    std::uint64_t total() const
+    {
+        return inputBuffers + reservationTables + flowState +
+               lookaheadNetwork;
+    }
+};
+
+/** Data flit width in bits (Table 1). */
+constexpr std::uint32_t kDataFlitBits = 128;
+/** Look-ahead flit payload bits (Section 5.1.1). */
+constexpr std::uint32_t kLookaheadFlitBits = 32;
+/** Buffered (non-local) ports per mesh router. */
+constexpr std::uint32_t kBufferedPorts = 4;
+
+GsfStorage gsfRouterStorage(const GsfParams &params,
+                            std::uint32_t flit_bits = kDataFlitBits);
+
+LoftStorage loftRouterStorage(const LoftParams &params,
+                              std::uint32_t flit_bits = kDataFlitBits);
+
+/** Area/power proxy for a whole NoC. */
+struct NocCost
+{
+    double areaMm2 = 0.0;
+    double powerW = 0.0;
+};
+
+NocCost estimateNocCost(std::uint64_t per_router_storage_bits,
+                        std::uint32_t num_nodes);
+
+} // namespace noc
+
+#endif // NOC_QOS_HW_COST_HH

@@ -1,0 +1,70 @@
+#include "router/arbiter.hh"
+
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+RoundRobinArbiter::RoundRobinArbiter(std::size_t num_inputs)
+    : numInputs_(num_inputs)
+{
+}
+
+void
+RoundRobinArbiter::resize(std::size_t num_inputs)
+{
+    numInputs_ = num_inputs;
+    pointer_ = 0;
+}
+
+std::size_t
+RoundRobinArbiter::grantAfter(const std::vector<bool> &requests,
+                              std::size_t start) const
+{
+    for (std::size_t i = 0; i < numInputs_; ++i) {
+        const std::size_t idx = (start + i) % numInputs_;
+        if (requests[idx])
+            return idx;
+    }
+    return npos;
+}
+
+std::size_t
+RoundRobinArbiter::arbitrate(const std::vector<bool> &requests)
+{
+    if (requests.size() != numInputs_)
+        panic("RoundRobinArbiter: request vector size mismatch");
+    if (numInputs_ == 0)
+        return npos;
+    const std::size_t winner = grantAfter(requests, pointer_);
+    if (winner != npos)
+        pointer_ = (winner + 1) % numInputs_;
+    return winner;
+}
+
+std::size_t
+RoundRobinArbiter::arbitrate(const std::vector<bool> &requests,
+                             const std::vector<std::uint64_t> &keys)
+{
+    if (requests.size() != numInputs_ || keys.size() != numInputs_)
+        panic("RoundRobinArbiter: vector size mismatch");
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    bool any = false;
+    for (std::size_t i = 0; i < numInputs_; ++i) {
+        if (requests[i] && keys[i] < best) {
+            best = keys[i];
+            any = true;
+        }
+    }
+    if (!any)
+        return npos;
+    // Round-robin among the best-key requestors.
+    std::vector<bool> masked(numInputs_, false);
+    for (std::size_t i = 0; i < numInputs_; ++i)
+        masked[i] = requests[i] && keys[i] == best;
+    return arbitrate(masked);
+}
+
+} // namespace noc

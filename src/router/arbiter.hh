@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Arbiters used by router allocators: plain round-robin and a
+ * priority-first variant (lowest key wins, round-robin tie-break).
+ */
+
+#ifndef NOC_ROUTER_ARBITER_HH
+#define NOC_ROUTER_ARBITER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace noc
+{
+
+/**
+ * Round-robin arbiter over a fixed number of requestors. The grant
+ * pointer advances past the winner so every requestor is served within
+ * N grants.
+ */
+class RoundRobinArbiter
+{
+  public:
+    explicit RoundRobinArbiter(std::size_t num_inputs = 0);
+
+    /** Resize (resets state). */
+    void resize(std::size_t num_inputs);
+
+    std::size_t size() const { return numInputs_; }
+
+    /**
+     * Pick a winner among the requesting inputs.
+     * @param requests bitmap of requesting inputs (size numInputs).
+     * @return winner index, or npos if no requests.
+     */
+    std::size_t arbitrate(const std::vector<bool> &requests);
+
+    /**
+     * Priority arbitration: among requestors, grant the one with the
+     * smallest key; break ties round-robin. Keys for non-requestors are
+     * ignored.
+     */
+    std::size_t arbitrate(const std::vector<bool> &requests,
+                          const std::vector<std::uint64_t> &keys);
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  private:
+    std::size_t grantAfter(const std::vector<bool> &requests,
+                           std::size_t start) const;
+
+    std::size_t numInputs_;
+    std::size_t pointer_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTER_ARBITER_HH

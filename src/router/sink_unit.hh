@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ejection-side unit: drains the router's Local output port at the
+ * constant rate of 1 flit/cycle (Section 5.1), returns credits, and
+ * feeds the metrics collector. Handles out-of-order flit arrival within
+ * a packet (possible under FRS speculative switching) by counting the
+ * flits of each packet.
+ */
+
+#ifndef NOC_ROUTER_SINK_UNIT_HH
+#define NOC_ROUTER_SINK_UNIT_HH
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/channel.hh"
+#include "net/metrics.hh"
+#include "router/wormhole_router.hh"
+#include "sim/clocked.hh"
+
+namespace noc
+{
+
+class SinkUnit : public Clocked
+{
+  public:
+    SinkUnit(NodeId node, Channel<WireFlit> *in,
+             Channel<Credit> *credit_return, MetricsCollector *metrics);
+
+    /** Optional per-flit callback (GSF uses it to update the barrier). */
+    void setOnEject(std::function<void(const Flit &, Cycle)> cb);
+
+    void tick(Cycle now) override;
+
+    std::uint64_t flitsEjected() const { return flitsEjected_; }
+
+  private:
+    NodeId node_;
+    Channel<WireFlit> *in_;
+    Channel<Credit> *creditReturn_;
+    MetricsCollector *metrics_;
+    std::function<void(const Flit &, Cycle)> onEject_;
+    /** Received flit count per partially received packet. */
+    std::unordered_map<PacketId, std::uint32_t> pending_;
+    std::uint64_t flitsEjected_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTER_SINK_UNIT_HH

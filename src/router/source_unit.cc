@@ -1,0 +1,121 @@
+#include "router/source_unit.hh"
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+SourceUnit::SourceUnit(NodeId node, const WormholeParams &params,
+                       Channel<WireFlit> *out, Channel<Credit> *credit_in,
+                       std::size_t queue_capacity_flits)
+    : node_(node), params_(params), out_(out), creditIn_(credit_in),
+      queueCapacityFlits_(queue_capacity_flits)
+{
+    vcs_.resize(params.numVCs);
+    for (auto &vc : vcs_)
+        vc.credits = params.vcDepthFlits;
+}
+
+bool
+SourceUnit::canAccept(const Packet &pkt) const
+{
+    if (queueCapacityFlits_ == 0)
+        return true;
+    return queuedFlits_ + pkt.sizeFlits <= queueCapacityFlits_;
+}
+
+bool
+SourceUnit::enqueue(const Packet &pkt)
+{
+    if (!canAccept(pkt))
+        return false;
+    if (pkt.src != node_)
+        panic("SourceUnit %u asked to inject a packet from node %u",
+              node_, pkt.src);
+    queue_.push_back(pkt);
+    queuedFlits_ += pkt.sizeFlits;
+    return true;
+}
+
+void
+SourceUnit::receiveCredits(Cycle now)
+{
+    while (auto c = creditIn_->tryReceive(now)) {
+        VcState &vc = vcs_.at(c->vc);
+        ++vc.credits;
+        if (vc.credits > params_.vcDepthFlits)
+            panic("SourceUnit %u: credit overflow on vc %u", node_, c->vc);
+    }
+}
+
+bool
+SourceUnit::vcUsable(std::uint32_t vc) const
+{
+    // A new packet may start on a VC only if there is buffer space; with
+    // atomic reuse (GSF) the downstream VC buffer must be fully drained
+    // so flits of different packets never share a virtual channel.
+    if (params_.atomicVcReuse)
+        return vcs_[vc].credits == params_.vcDepthFlits;
+    return vcs_[vc].credits > 0;
+}
+
+void
+SourceUnit::tick(Cycle now)
+{
+    receiveCredits(now);
+
+    // Start a new packet if idle. A usable VC must be secured before
+    // allowStart() is consulted: allowStart has side effects (GSF frame
+    // quota accounting), so it must run at most once per packet.
+    if (!sending_ && !queue_.empty()) {
+        std::uint32_t chosen = params_.numVCs;
+        for (std::uint32_t i = 0; i < params_.numVCs; ++i) {
+            const std::uint32_t vc = (vcPointer_ + i) % params_.numVCs;
+            if (vcUsable(vc)) {
+                chosen = vc;
+                break;
+            }
+        }
+        std::uint64_t frame_tag = 0;
+        if (chosen < params_.numVCs &&
+            allowStart(queue_.front(), now, frame_tag)) {
+            sending_ = true;
+            current_ = queue_.front();
+            queue_.pop_front();
+            sentFlits_ = 0;
+            currentVC_ = chosen;
+            currentFrame_ = frame_tag;
+            vcPointer_ = (chosen + 1) % params_.numVCs;
+        }
+    }
+
+    // Send at most one flit per cycle (the local link is one flit wide).
+    if (sending_ && vcs_[currentVC_].credits > 0) {
+        Flit flit;
+        const bool head = sentFlits_ == 0;
+        const bool tail = sentFlits_ + 1 == current_.sizeFlits;
+        flit.type = head && tail ? FlitType::HeadTail
+                  : head ? FlitType::Head
+                  : tail ? FlitType::Tail
+                  : FlitType::Body;
+        flit.flow = current_.flow;
+        flit.flitNo = nextFlitNo_++;
+        flit.packet = current_.id;
+        flit.src = current_.src;
+        flit.dst = current_.dst;
+        flit.pktSize = current_.sizeFlits;
+        flit.createdAt = current_.enqueuedAt;
+        flit.frame = currentFrame_;
+
+        out_->send(now, WireFlit{flit, currentVC_});
+        --vcs_[currentVC_].credits;
+        --queuedFlits_;
+        ++sentFlits_;
+        onFlitInjected(flit, now);
+
+        if (tail)
+            sending_ = false;
+    }
+}
+
+} // namespace noc

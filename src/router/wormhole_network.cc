@@ -1,0 +1,58 @@
+#include "router/wormhole_network.hh"
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+WormholeNetwork::WormholeNetwork(const Mesh2D &mesh,
+                                 const WormholeParams &params,
+                                 std::size_t source_queue_flits)
+    : mesh_(mesh), fabric_(mesh, params, &metrics_)
+{
+    sources_.reserve(mesh.numNodes());
+    for (NodeId id = 0; id < mesh.numNodes(); ++id)
+        sources_.push_back(std::make_unique<SourceUnit>(
+            id, params, fabric_.localIn(id), fabric_.localInCredit(id),
+            source_queue_flits));
+}
+
+void
+WormholeNetwork::registerFlows(const std::vector<FlowSpec> &flows)
+{
+    // The baseline ignores reservations; it only needs per-flow metrics.
+    metrics_.resizeFlows(flows.size());
+}
+
+bool
+WormholeNetwork::canInject(NodeId src) const
+{
+    Packet probe;
+    probe.sizeFlits = 1;
+    return sources_.at(src)->canAccept(probe);
+}
+
+bool
+WormholeNetwork::inject(const Packet &pkt)
+{
+    return sources_.at(pkt.src)->enqueue(pkt);
+}
+
+void
+WormholeNetwork::attach(Simulator &sim)
+{
+    fabric_.attach(sim);
+    for (auto &s : sources_)
+        sim.add(s.get());
+}
+
+std::uint64_t
+WormholeNetwork::flitsInFlight() const
+{
+    std::uint64_t total = fabric_.flitsInFlight();
+    for (const auto &s : sources_)
+        total += s->queuedFlits();
+    return total;
+}
+
+} // namespace noc

@@ -1,0 +1,315 @@
+#include "router/wormhole_router.hh"
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+WormholeRouter::WormholeRouter(NodeId id, const Mesh2D &mesh,
+                               const WormholeParams &params)
+    : id_(id), mesh_(mesh), params_(params)
+{
+    if (params.numVCs == 0 || params.vcDepthFlits == 0)
+        fatal("WormholeRouter: numVCs and vcDepthFlits must be positive");
+    if (params.routerStages == 0)
+        fatal("WormholeRouter: routerStages must be >= 1");
+
+    inputVCs_.resize(kNumPorts * params.numVCs);
+    outputVCs_.resize(kNumPorts * params.numVCs);
+    for (auto &o : outputVCs_)
+        o.credits = params.vcDepthFlits;
+    for (auto &arb : inputArb_)
+        arb.resize(params.numVCs);
+    for (auto &arb : outputArb_)
+        arb.resize(kNumPorts);
+    for (auto &arb : vcArb_)
+        arb.resize(kNumPorts * params.numVCs);
+}
+
+void
+WormholeRouter::connectInput(Port p, Channel<WireFlit> *in,
+                             Channel<Credit> *credit_return)
+{
+    in_[portIndex(p)] = in;
+    creditReturn_[portIndex(p)] = credit_return;
+}
+
+void
+WormholeRouter::connectOutput(Port p, Channel<WireFlit> *out,
+                              Channel<Credit> *credit_in)
+{
+    out_[portIndex(p)] = out;
+    creditIn_[portIndex(p)] = credit_in;
+}
+
+WormholeRouter::InputVC &
+WormholeRouter::ivc(std::size_t port, std::uint32_t vc)
+{
+    return inputVCs_[port * params_.numVCs + vc];
+}
+
+const WormholeRouter::InputVC &
+WormholeRouter::ivc(std::size_t port, std::uint32_t vc) const
+{
+    return inputVCs_[port * params_.numVCs + vc];
+}
+
+WormholeRouter::OutputVC &
+WormholeRouter::ovc(std::size_t port, std::uint32_t vc)
+{
+    return outputVCs_[port * params_.numVCs + vc];
+}
+
+std::uint64_t
+WormholeRouter::flitKey(const Flit &f) const
+{
+    return priority_ ? priority_(f) : 0;
+}
+
+void
+WormholeRouter::tick(Cycle now)
+{
+    receiveCredits(now);
+    receiveFlits(now);
+    switchAllocAndTraverse(now);
+    vcAlloc(now);
+    routeCompute(now);
+}
+
+void
+WormholeRouter::receiveCredits(Cycle now)
+{
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+        Channel<Credit> *ch = creditIn_[p];
+        if (!ch)
+            continue;
+        while (auto c = ch->tryReceive(now)) {
+            OutputVC &o = ovc(p, c->vc);
+            ++o.credits;
+            if (o.credits > params_.vcDepthFlits)
+                panic("router %u: credit overflow on port %zu vc %u",
+                      id_, p, c->vc);
+            if (o.draining && o.credits == params_.vcDepthFlits) {
+                o.draining = false;
+                o.allocated = false;
+            }
+        }
+    }
+}
+
+void
+WormholeRouter::receiveFlits(Cycle now)
+{
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+        Channel<WireFlit> *ch = in_[p];
+        if (!ch)
+            continue;
+        while (auto wf = ch->tryReceive(now)) {
+            if (wf->vc >= params_.numVCs)
+                panic("router %u: bad VC %u on port %zu", id_, wf->vc, p);
+            InputVC &v = ivc(p, wf->vc);
+            if (v.buffer.size() >= params_.vcDepthFlits)
+                panic("router %u: input VC overflow port %zu vc %u "
+                      "(credit protocol violated)", id_, p, wf->vc);
+            // Flit arriving now may traverse the switch after the
+            // remaining pipeline stages.
+            v.buffer.push_back({wf->flit, now + params_.routerStages - 1});
+        }
+    }
+}
+
+void
+WormholeRouter::switchAllocAndTraverse(Cycle now)
+{
+    // Stage 1: each input port nominates one eligible VC.
+    std::array<std::size_t, kNumPorts> candidate{};
+    std::array<bool, kNumPorts> hasCandidate{};
+    hasCandidate.fill(false);
+
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+        std::vector<bool> req(params_.numVCs, false);
+        std::vector<std::uint64_t> keys(params_.numVCs, 0);
+        for (std::uint32_t vc = 0; vc < params_.numVCs; ++vc) {
+            const InputVC &v = ivc(p, vc);
+            if (v.state != VCState::Active || v.buffer.empty())
+                continue;
+            if (v.buffer.front().readyAt > now)
+                continue;
+            const OutputVC &o =
+                outputVCs_[portIndex(v.outPort) * params_.numVCs + v.outVC];
+            if (o.credits == 0)
+                continue;
+            req[vc] = true;
+            keys[vc] = flitKey(v.buffer.front().flit);
+        }
+        const std::size_t win = priority_
+            ? inputArb_[p].arbitrate(req, keys)
+            : inputArb_[p].arbitrate(req);
+        if (win != RoundRobinArbiter::npos) {
+            candidate[p] = win;
+            hasCandidate[p] = true;
+        }
+    }
+
+    // Stage 2: each output port grants one input port.
+    for (std::size_t outp = 0; outp < kNumPorts; ++outp) {
+        if (!out_[outp])
+            continue;
+        std::vector<bool> req(kNumPorts, false);
+        std::vector<std::uint64_t> keys(kNumPorts, 0);
+        for (std::size_t p = 0; p < kNumPorts; ++p) {
+            if (!hasCandidate[p])
+                continue;
+            const InputVC &v = ivc(p, candidate[p]);
+            if (portIndex(v.outPort) != outp)
+                continue;
+            req[p] = true;
+            keys[p] = flitKey(v.buffer.front().flit);
+        }
+        const std::size_t win = priority_
+            ? outputArb_[outp].arbitrate(req, keys)
+            : outputArb_[outp].arbitrate(req);
+        if (win == RoundRobinArbiter::npos)
+            continue;
+
+        InputVC &v = ivc(win, candidate[win]);
+        OutputVC &o = ovc(outp, v.outVC);
+        const Flit flit = v.buffer.front().flit;
+        v.buffer.pop_front();
+
+        out_[outp]->send(now, WireFlit{flit, v.outVC});
+        --o.credits;
+        if (creditReturn_[win])
+            creditReturn_[win]->send(
+                now, Credit{static_cast<std::uint32_t>(candidate[win])});
+
+        if (flit.isTail()) {
+            v.state = VCState::Idle;
+            if (params_.atomicVcReuse &&
+                o.credits != params_.vcDepthFlits) {
+                o.draining = true;
+            } else {
+                o.allocated = false;
+            }
+        }
+    }
+}
+
+void
+WormholeRouter::vcAlloc(Cycle now)
+{
+    (void)now;
+    for (std::size_t outp = 0; outp < kNumPorts; ++outp) {
+        if (!out_[outp])
+            continue;
+        // Collect requestors targeting this output port.
+        std::vector<bool> req(kNumPorts * params_.numVCs, false);
+        std::vector<std::uint64_t> keys(kNumPorts * params_.numVCs, 0);
+        bool any = false;
+        for (std::size_t p = 0; p < kNumPorts; ++p) {
+            for (std::uint32_t vc = 0; vc < params_.numVCs; ++vc) {
+                const InputVC &v = ivc(p, vc);
+                if (v.state != VCState::VCWait ||
+                    portIndex(v.outPort) != outp) {
+                    continue;
+                }
+                const std::size_t idx = p * params_.numVCs + vc;
+                req[idx] = true;
+                keys[idx] = v.buffer.empty()
+                    ? 0 : flitKey(v.buffer.front().flit);
+                any = true;
+            }
+        }
+        if (!any)
+            continue;
+        // Grant free output VCs to waiting inputs, best priority first.
+        for (std::uint32_t ovcIdx = 0; ovcIdx < params_.numVCs; ++ovcIdx) {
+            OutputVC &o = ovc(outp, ovcIdx);
+            if (o.allocated || o.draining)
+                continue;
+            const std::size_t win = priority_
+                ? vcArb_[outp].arbitrate(req, keys)
+                : vcArb_[outp].arbitrate(req);
+            if (win == RoundRobinArbiter::npos)
+                break;
+            req[win] = false;
+            InputVC &v = inputVCs_[win];
+            v.state = VCState::Active;
+            v.outVC = ovcIdx;
+            o.allocated = true;
+            o.ownerPort = win / params_.numVCs;
+            o.ownerVC = win % params_.numVCs;
+        }
+    }
+}
+
+void
+WormholeRouter::routeCompute(Cycle now)
+{
+    (void)now;
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+        for (std::uint32_t vc = 0; vc < params_.numVCs; ++vc) {
+            InputVC &v = ivc(p, vc);
+            if (v.state != VCState::Idle || v.buffer.empty())
+                continue;
+            const Flit &head = v.buffer.front().flit;
+            if (!head.isHead())
+                panic("router %u: non-head flit at head of idle VC "
+                      "(port %zu vc %u flow %u)", id_, p, vc, head.flow);
+            v.outPort = xyRoute(mesh_, id_, head.dst);
+            v.state = VCState::VCWait;
+        }
+    }
+}
+
+std::uint64_t
+WormholeRouter::bufferedFlits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &v : inputVCs_)
+        n += v.buffer.size();
+    return n;
+}
+
+std::uint32_t
+WormholeRouter::outputCredits(Port p, std::uint32_t vc) const
+{
+    return outputVCs_[portIndex(p) * params_.numVCs + vc].credits;
+}
+
+void
+WormholeRouter::debugDump() const
+{
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+        for (std::uint32_t vc = 0; vc < params_.numVCs; ++vc) {
+            const InputVC &v = ivc(p, vc);
+            if (v.state == VCState::Idle && v.buffer.empty())
+                continue;
+            const char *st = v.state == VCState::Idle ? "Idle"
+                : v.state == VCState::VCWait ? "VCWait" : "Active";
+            std::fprintf(stderr,
+                "  r%u in %s.%u st=%s buf=%zu out=%s.%u", id_,
+                portName(static_cast<Port>(p)), vc, st, v.buffer.size(),
+                portName(v.outPort), v.outVC);
+            if (!v.buffer.empty()) {
+                const Flit &f = v.buffer.front().flit;
+                std::fprintf(stderr, " head{flow %u frame %llu %s}",
+                    f.flow, (unsigned long long)f.frame,
+                    f.isTail() ? "tail" : f.isHead() ? "head" : "body");
+            }
+            std::fprintf(stderr, "\n");
+        }
+        for (std::uint32_t vc = 0; vc < params_.numVCs; ++vc) {
+            const OutputVC &o = outputVCs_[p * params_.numVCs + vc];
+            if (!o.allocated && o.credits == params_.vcDepthFlits)
+                continue;
+            std::fprintf(stderr,
+                "  r%u out %s.%u alloc=%d drain=%d cred=%u owner=%zu.%u\n",
+                id_, portName(static_cast<Port>(p)), vc,
+                o.allocated ? 1 : 0, o.draining ? 1 : 0, o.credits,
+                o.ownerPort, o.ownerVC);
+        }
+    }
+}
+
+} // namespace noc

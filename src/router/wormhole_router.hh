@@ -1,0 +1,163 @@
+/**
+ * @file
+ * A generic virtual-channel wormhole router with credit-based flow
+ * control and a 3-stage pipeline (RC/VA, SA, ST).
+ *
+ * Two hooks support the GSF baseline:
+ *  - a flit priority function (lower key = higher priority) applied in
+ *    VC and switch allocation (GSF uses the flit's frame number), and
+ *  - atomic VC reuse: an output VC is reallocated only after the
+ *    downstream buffer for that VC has fully drained, modelling GSF's
+ *    rule that flits of different packets never share a virtual channel.
+ */
+
+#ifndef NOC_ROUTER_WORMHOLE_ROUTER_HH
+#define NOC_ROUTER_WORMHOLE_ROUTER_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/channel.hh"
+#include "net/flit.hh"
+#include "net/routing.hh"
+#include "net/topology.hh"
+#include "router/arbiter.hh"
+#include "sim/clocked.hh"
+
+namespace noc
+{
+
+/** A data flit on the wire, tagged with its virtual channel. */
+struct WireFlit
+{
+    Flit flit;
+    std::uint32_t vc = 0;
+};
+
+/** Configuration of a wormhole router / network. */
+struct WormholeParams
+{
+    std::uint32_t numVCs = 2;
+    std::uint32_t vcDepthFlits = 4;
+    /** Router pipeline depth in cycles (>= 1). */
+    Cycle routerStages = 3;
+    /** Link traversal latency in cycles. */
+    Cycle linkLatency = 1;
+    /** GSF-style: reallocate an output VC only once fully drained. */
+    bool atomicVcReuse = false;
+};
+
+/**
+ * Priority key for allocation decisions; lower value wins. The default
+ * (always 0) reduces allocation to plain round-robin.
+ */
+using FlitPriorityFn = std::function<std::uint64_t(const Flit &)>;
+
+/**
+ * One mesh router. The owner wires up the channel endpoints; ports
+ * without a neighbour keep null channels and are skipped.
+ */
+class WormholeRouter : public Clocked
+{
+  public:
+    WormholeRouter(NodeId id, const Mesh2D &mesh,
+                   const WormholeParams &params);
+
+    NodeId id() const { return id_; }
+
+    /** Wire an input port: incoming flits, outgoing credits. */
+    void connectInput(Port p, Channel<WireFlit> *in,
+                      Channel<Credit> *credit_return);
+
+    /** Wire an output port: outgoing flits, incoming credits. */
+    void connectOutput(Port p, Channel<WireFlit> *out,
+                       Channel<Credit> *credit_in);
+
+    /** Install the allocation priority function (default: none). */
+    void setPriorityFn(FlitPriorityFn fn) { priority_ = std::move(fn); }
+
+    void tick(Cycle now) override;
+
+    /** Flits buffered inside this router (all input VCs). */
+    std::uint64_t bufferedFlits() const;
+
+    /** Free credit count seen for an output VC (testing aid). */
+    std::uint32_t outputCredits(Port p, std::uint32_t vc) const;
+
+    /** Print all VC states (debugging aid). */
+    void debugDump() const;
+
+  private:
+    /** Lifecycle of one input virtual channel. */
+    enum class VCState : std::uint8_t
+    {
+        Idle,       ///< no packet being routed
+        VCWait,     ///< routed; waiting for an output VC
+        Active,     ///< output VC allocated; flits may traverse
+    };
+
+    /** A buffered flit plus the first cycle it may traverse the switch. */
+    struct TimedFlit
+    {
+        Flit flit;
+        Cycle readyAt;
+    };
+
+    struct InputVC
+    {
+        std::deque<TimedFlit> buffer;
+        VCState state = VCState::Idle;
+        Port outPort = Port::Local;
+        std::uint32_t outVC = 0;
+    };
+
+    struct OutputVC
+    {
+        bool allocated = false;
+        /** Waiting for the downstream buffer to drain (atomic reuse). */
+        bool draining = false;
+        std::size_t ownerPort = 0;
+        std::uint32_t ownerVC = 0;
+        std::uint32_t credits = 0;
+    };
+
+    void receiveCredits(Cycle now);
+    void receiveFlits(Cycle now);
+    void switchAllocAndTraverse(Cycle now);
+    void vcAlloc(Cycle now);
+    void routeCompute(Cycle now);
+
+    std::uint64_t flitKey(const Flit &f) const;
+
+    InputVC &ivc(std::size_t port, std::uint32_t vc);
+    const InputVC &ivc(std::size_t port, std::uint32_t vc) const;
+    OutputVC &ovc(std::size_t port, std::uint32_t vc);
+
+    NodeId id_;
+    const Mesh2D &mesh_;
+    WormholeParams params_;
+    FlitPriorityFn priority_;
+
+    std::array<Channel<WireFlit> *, kNumPorts> in_{};
+    std::array<Channel<Credit> *, kNumPorts> creditReturn_{};
+    std::array<Channel<WireFlit> *, kNumPorts> out_{};
+    std::array<Channel<Credit> *, kNumPorts> creditIn_{};
+
+    /** Input VC state, [port * numVCs + vc]. */
+    std::vector<InputVC> inputVCs_;
+    /** Output VC state, [port * numVCs + vc]. */
+    std::vector<OutputVC> outputVCs_;
+
+    /** Per-input-port VC selection for switch allocation. */
+    std::array<RoundRobinArbiter, kNumPorts> inputArb_;
+    /** Per-output-port arbitration among input ports. */
+    std::array<RoundRobinArbiter, kNumPorts> outputArb_;
+    /** Per-output-port arbitration for VC allocation. */
+    std::array<RoundRobinArbiter, kNumPorts> vcArb_;
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTER_WORMHOLE_ROUTER_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Interface for components driven by the global clock.
+ */
+
+#ifndef NOC_SIM_CLOCKED_HH
+#define NOC_SIM_CLOCKED_HH
+
+#include "sim/types.hh"
+
+namespace noc
+{
+
+/**
+ * A component that performs work every clock cycle.
+ *
+ * Components must exchange state only through latency >= 1 channels (see
+ * net/channel.hh); under that discipline the order in which tick() is
+ * invoked across components within a cycle is irrelevant.
+ */
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+
+    /** Perform this cycle's work. @param now the current cycle. */
+    virtual void tick(Cycle now) = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_SIM_CLOCKED_HH

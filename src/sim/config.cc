@@ -1,0 +1,170 @@
+#include "sim/config.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t a = 0;
+    std::size_t b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a])))
+        ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])))
+        --b;
+    return s.substr(a, b - a);
+}
+
+} // namespace
+
+Config &
+Config::parseArgs(int argc, char **argv)
+{
+    std::vector<std::string> tokens;
+    for (int i = 1; i < argc; ++i)
+        tokens.emplace_back(argv[i]);
+    return parseTokens(tokens);
+}
+
+Config &
+Config::parseTokens(const std::vector<std::string> &tokens)
+{
+    for (const std::string &tok : tokens) {
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal("config: expected key=value, got '%s'", tok.c_str());
+        set(trim(tok.substr(0, eq)), trim(tok.substr(eq + 1)));
+    }
+    return *this;
+}
+
+Config &
+Config::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("config: cannot open '%s'", path.c_str());
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal("config: %s:%zu: expected key=value", path.c_str(),
+                  lineno);
+        set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+    }
+    return *this;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    if (key.empty())
+        fatal("config: empty key");
+    if (!values_.count(key))
+        order_.push_back(key);
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+const std::string *
+Config::find(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return nullptr;
+    used_.insert(key);
+    return &it->second;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    const std::string *v = find(key);
+    return v ? *v : def;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    const std::string *v = find(key);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    const long long out = std::strtoll(v->c_str(), &end, 0);
+    if (!end || *end != '\0' || v->empty())
+        fatal("config: %s='%s' is not an integer", key.c_str(),
+              v->c_str());
+    return out;
+}
+
+std::uint64_t
+Config::getUInt(const std::string &key, std::uint64_t def) const
+{
+    const std::int64_t v =
+        getInt(key, static_cast<std::int64_t>(def));
+    if (v < 0)
+        fatal("config: %s must be non-negative", key.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    const std::string *v = find(key);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    const double out = std::strtod(v->c_str(), &end);
+    if (!end || *end != '\0' || v->empty())
+        fatal("config: %s='%s' is not a number", key.c_str(),
+              v->c_str());
+    return out;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    const std::string *v = find(key);
+    if (!v)
+        return def;
+    if (*v == "1" || *v == "true" || *v == "yes" || *v == "on")
+        return true;
+    if (*v == "0" || *v == "false" || *v == "no" || *v == "off")
+        return false;
+    fatal("config: %s='%s' is not a boolean", key.c_str(), v->c_str());
+}
+
+std::vector<std::string>
+Config::unusedKeys() const
+{
+    std::vector<std::string> out;
+    for (const std::string &k : order_) {
+        if (!used_.count(k))
+            out.push_back(k);
+    }
+    return out;
+}
+
+} // namespace noc

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal configuration store: ordered key=value pairs parsed from
+ * command-line style tokens ("key=value") and/or simple config files
+ * (one pair per line, '#' comments). Typed accessors with defaults and
+ * strict error reporting; unknown-key detection lets drivers reject
+ * typos.
+ */
+
+#ifndef NOC_SIM_CONFIG_HH
+#define NOC_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace noc
+{
+
+class Config
+{
+  public:
+    /** Parse "key=value" tokens (e.g. from argv). @return *this. */
+    Config &parseArgs(int argc, char **argv);
+
+    /** Parse tokens given as strings; fatal() on malformed input. */
+    Config &parseTokens(const std::vector<std::string> &tokens);
+
+    /** Parse a config file; fatal() if unreadable or malformed. */
+    Config &parseFile(const std::string &path);
+
+    /** Set a single value programmatically. */
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    /// @name Typed accessors (fatal() on conversion errors)
+    /// @{
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    std::uint64_t getUInt(const std::string &key,
+                          std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+    /// @}
+
+    /**
+     * Keys present in the store that were never read through a typed
+     * accessor — typically typos. Call after all getters ran.
+     */
+    std::vector<std::string> unusedKeys() const;
+
+    /** All stored keys in insertion order. */
+    const std::vector<std::string> &keys() const { return order_; }
+
+  private:
+    const std::string *find(const std::string &key) const;
+
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> order_;
+    mutable std::set<std::string> used_;
+};
+
+} // namespace noc
+
+#endif // NOC_SIM_CONFIG_HH

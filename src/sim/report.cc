@@ -1,0 +1,174 @@
+#include "sim/report.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+ReportTable::ReportTable(std::string title,
+                         std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns))
+{
+    if (columns_.empty())
+        fatal("ReportTable '%s' needs at least one column",
+              title_.c_str());
+}
+
+void
+ReportTable::addRow(std::vector<ReportCell> row)
+{
+    if (row.size() != columns_.size())
+        fatal("ReportTable '%s': row has %zu cells, expected %zu",
+              title_.c_str(), row.size(), columns_.size());
+    rows_.push_back(std::move(row));
+}
+
+const ReportCell &
+ReportTable::at(std::size_t row, std::size_t col) const
+{
+    return rows_.at(row).at(col);
+}
+
+std::string
+ReportTable::cellText(const ReportCell &cell)
+{
+    if (const auto *s = std::get_if<std::string>(&cell))
+        return *s;
+    if (const auto *i = std::get_if<std::int64_t>(&cell))
+        return csprintf("%lld", static_cast<long long>(*i));
+    return csprintf("%.6g", std::get<double>(cell));
+}
+
+std::string
+ReportTable::toText() const
+{
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        width[c] = columns_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], cellText(row[c]).size());
+
+    std::ostringstream out;
+    out << title_ << "\n";
+    auto rule = [&] {
+        for (std::size_t c = 0; c < columns_.size(); ++c)
+            out << std::string(width[c] + 2, '-');
+        out << "\n";
+    };
+    rule();
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        out << columns_[c]
+            << std::string(width[c] - columns_[c].size() + 2, ' ');
+    }
+    out << "\n";
+    rule();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const std::string t = cellText(row[c]);
+            out << t << std::string(width[c] - t.size() + 2, ' ');
+        }
+        out << "\n";
+    }
+    rule();
+    return out.str();
+}
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char ch : s) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+ReportTable::toCsv() const
+{
+    std::ostringstream out;
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        out << (c ? "," : "") << csvEscape(columns_[c]);
+    out << "\n";
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            out << (c ? "," : "") << csvEscape(cellText(row[c]));
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20)
+                out += csprintf("\\u%04x", ch);
+            else
+                out += ch;
+        }
+    }
+    return out;
+}
+
+std::string
+ReportTable::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"title\":\"" << jsonEscape(title_) << "\",\"columns\":[";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        out << (c ? "," : "") << "\"" << jsonEscape(columns_[c])
+            << "\"";
+    }
+    out << "],\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        out << (r ? "," : "") << "[";
+        for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+            out << (c ? "," : "");
+            const ReportCell &cell = rows_[r][c];
+            if (const auto *s = std::get_if<std::string>(&cell))
+                out << "\"" << jsonEscape(*s) << "\"";
+            else if (const auto *i = std::get_if<std::int64_t>(&cell))
+                out << *i;
+            else
+                out << csprintf("%.10g", std::get<double>(cell));
+        }
+        out << "]";
+    }
+    out << "]}";
+    return out.str();
+}
+
+void
+ReportTable::write(std::FILE *out, const std::string &format) const
+{
+    std::string text;
+    if (format == "text")
+        text = toText();
+    else if (format == "csv")
+        text = toCsv();
+    else if (format == "json")
+        text = toJson() + "\n";
+    else
+        fatal("ReportTable: unknown format '%s'", format.c_str());
+    std::fputs(text.c_str(), out);
+}
+
+} // namespace noc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * We use xoshiro256** seeded through splitmix64 so that every run is
+ * reproducible from a single 64-bit seed, independent of the standard
+ * library implementation.
+ */
+
+#ifndef NOC_SIM_RNG_HH
+#define NOC_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace noc
+{
+
+/**
+ * xoshiro256** generator. Satisfies the essentials of
+ * UniformRandomBitGenerator so it can also feed <random> adaptors.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed the generator. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    std::uint64_t operator()() { return next(); }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t randRange(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double randDouble();
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace noc
+
+#endif // NOC_SIM_RNG_HH

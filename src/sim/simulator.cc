@@ -1,0 +1,42 @@
+#include "sim/simulator.hh"
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+void
+Simulator::add(Clocked *component)
+{
+    if (!component)
+        panic("Simulator::add called with null component");
+    components_.push_back(component);
+}
+
+void
+Simulator::step()
+{
+    for (Clocked *c : components_)
+        c->tick(now_);
+    ++now_;
+}
+
+void
+Simulator::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        step();
+}
+
+bool
+Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles)
+{
+    for (Cycle i = 0; i < max_cycles; ++i) {
+        if (done())
+            return true;
+        step();
+    }
+    return done();
+}
+
+} // namespace noc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The top-level cycle-driven run loop.
+ */
+
+#ifndef NOC_SIM_SIMULATOR_HH
+#define NOC_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/clocked.hh"
+#include "sim/types.hh"
+
+namespace noc
+{
+
+/**
+ * Owns the global cycle counter and drives registered Clocked components.
+ * Does not own component lifetimes; networks register their parts.
+ */
+class Simulator
+{
+  public:
+    /** Register a component; it will be ticked every cycle. */
+    void add(Clocked *component);
+
+    /** Current cycle (the cycle about to execute / executing). */
+    Cycle now() const { return now_; }
+
+    /** Advance the simulation by @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Advance until @p done returns true or @p maxCycles elapse.
+     * @return true if the predicate fired, false on timeout.
+     */
+    bool runUntil(const std::function<bool()> &done, Cycle max_cycles);
+
+  private:
+    void step();
+
+    std::vector<Clocked *> components_;
+    Cycle now_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_SIM_SIMULATOR_HH

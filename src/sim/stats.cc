@@ -1,0 +1,133 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+void
+RunningStat::sample(double x)
+{
+    ++n_;
+    sum_ += x;
+    if (n_ == 1) {
+        mean_ = x;
+        m2_ = 0.0;
+        min_ = max_ = x;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : bucketWidth_(bucket_width), buckets_(num_buckets, 0)
+{
+    if (bucket_width <= 0.0 || num_buckets == 0)
+        panic("Histogram requires positive bucket width and count");
+}
+
+void
+Histogram::sample(double x)
+{
+    ++count_;
+    maxSample_ = std::max(maxSample_, x);
+    if (x < 0.0)
+        x = 0.0;
+    const auto idx = static_cast<std::size_t>(x / bucketWidth_);
+    if (idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    count_ = 0;
+    maxSample_ = 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(count_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double next = cum + static_cast<double>(buckets_[i]);
+        if (next >= target && buckets_[i] > 0) {
+            const double frac = (target - cum) / static_cast<double>(buckets_[i]);
+            return (static_cast<double>(i) + frac) * bucketWidth_;
+        }
+        cum = next;
+    }
+    return maxSample_;
+}
+
+FairnessSummary
+summarizeFairness(const std::vector<double> &values)
+{
+    FairnessSummary s;
+    if (values.empty())
+        return s;
+    RunningStat rs;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (double v : values) {
+        rs.sample(v);
+        sum += v;
+        sq += v * v;
+    }
+    s.max = rs.max();
+    s.min = rs.min();
+    s.avg = rs.mean();
+    s.rsd = rs.mean() > 0.0 ? rs.stddev() / rs.mean() : 0.0;
+    const double n = static_cast<double>(values.size());
+    s.jain = sq > 0.0 ? (sum * sum) / (n * sq) : 0.0;
+    return s;
+}
+
+} // namespace noc

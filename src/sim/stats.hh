@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Lightweight statistics primitives: counters, running mean/stddev,
+ * histograms, and a named group that can be printed or reset (used to
+ * discard warmup samples).
+ */
+
+#ifndef NOC_SIM_STATS_HH
+#define NOC_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace noc
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Streaming mean / variance / min / max via Welford's algorithm.
+ * Constant memory; numerically stable.
+ */
+class RunningStat
+{
+  public:
+    void sample(double x);
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Population variance. */
+    double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Merge another RunningStat into this one (parallel Welford). */
+    void merge(const RunningStat &other);
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over [0, bucketWidth * numBuckets), with an
+ * overflow bucket. Used for packet latency distributions.
+ */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width = 16.0, std::size_t num_buckets = 64);
+
+    void sample(double x);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::uint64_t overflow() const { return overflow_; }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    double bucketWidth() const { return bucketWidth_; }
+
+    /** p in [0, 1]; linear interpolation within the bucket. */
+    double percentile(double p) const;
+
+  private:
+    double bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double maxSample_ = 0.0;
+};
+
+/** Fairness summary over a set of per-flow throughput values. */
+struct FairnessSummary
+{
+    double max = 0.0;
+    double min = 0.0;
+    double avg = 0.0;
+    /** Relative standard deviation (stddev / mean), as in Fig. 10. */
+    double rsd = 0.0;
+    /** Jain's fairness index, 1.0 = perfectly fair. */
+    double jain = 0.0;
+};
+
+/** Compute the fairness summary of a sample vector. */
+FairnessSummary summarizeFairness(const std::vector<double> &values);
+
+} // namespace noc
+
+#endif // NOC_SIM_STATS_HH

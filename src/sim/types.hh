@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the simulator.
+ */
+
+#ifndef NOC_SIM_TYPES_HH
+#define NOC_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace noc
+{
+
+/** Simulation time measured in clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A slot index in a reservation table (absolute, monotonically rising). */
+using Slot = std::uint64_t;
+
+/** Identifier of a network node (PE / router position). */
+using NodeId = std::uint32_t;
+
+/** Dense identifier of a flow (a unique source-destination pair). */
+using FlowId = std::uint32_t;
+
+/** Identifier of a packet, unique network-wide for a run. */
+using PacketId = std::uint64_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/** Sentinel for "no flow". */
+constexpr FlowId kInvalidFlow = std::numeric_limits<FlowId>::max();
+
+/** Sentinel cycle value meaning "never" / "unset". */
+constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+} // namespace noc
+
+#endif // NOC_SIM_TYPES_HH

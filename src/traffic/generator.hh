@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Open-loop traffic generation: per-flow injection processes offering
+ * packets to a Network. Packets refused by a full NI stay in an
+ * unbounded per-flow pending queue (open-loop load), and latency is
+ * measured from packet creation, which charges source-side backlog to
+ * the network exactly as the paper does for GSF's source queues.
+ */
+
+#ifndef NOC_TRAFFIC_GENERATOR_HH
+#define NOC_TRAFFIC_GENERATOR_HH
+
+#include <deque>
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/clocked.hh"
+#include "sim/rng.hh"
+
+namespace noc
+{
+
+/** How a flow's packets are spaced in time. */
+enum class InjectionProcess : std::uint8_t
+{
+    /** Independent Bernoulli trial each cycle. */
+    Bernoulli,
+    /** Evenly spaced (a rate-regulated source, Case Study I victim). */
+    Periodic,
+};
+
+/** Run-time injection parameters of one flow. */
+struct FlowRate
+{
+    /** Offered load in flits/cycle/node. */
+    double flitsPerCycle = 0.0;
+    InjectionProcess process = InjectionProcess::Bernoulli;
+};
+
+class TrafficGenerator : public Clocked
+{
+  public:
+    TrafficGenerator(Network &network, std::uint32_t packet_size_flits,
+                     std::uint64_t seed);
+
+    /**
+     * Configure the generated flows. @p rates is parallel to @p flows;
+     * flows with rate 0 are idle.
+     */
+    void configure(const std::vector<FlowSpec> &flows,
+                   const std::vector<FlowRate> &rates);
+
+    /** Set every flow to the same Bernoulli rate. */
+    void setUniformRate(double flits_per_cycle);
+
+    void tick(Cycle now) override;
+
+    std::uint64_t packetsOffered() const { return packetsOffered_; }
+    std::uint64_t flitsOffered() const { return flitsOffered_; }
+
+    /** Packets created but not yet accepted by an NI. */
+    std::uint64_t packetsPending() const;
+
+  private:
+    struct FlowState
+    {
+        FlowSpec spec;
+        FlowRate rate;
+        double accumulator = 0.0;
+        std::deque<Packet> pending;
+    };
+
+    Packet makePacket(FlowState &fs, Cycle now);
+
+    Network &network_;
+    std::uint32_t packetSize_;
+    Rng rng_;
+    std::vector<FlowState> flows_;
+    PacketId nextPacketId_ = 1;
+    std::uint64_t packetsOffered_ = 0;
+    std::uint64_t flitsOffered_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_TRAFFIC_GENERATOR_HH

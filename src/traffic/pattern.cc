@@ -1,0 +1,195 @@
+#include "traffic/pattern.hh"
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+namespace
+{
+
+FlowSpec
+makeFlow(FlowId id, NodeId src, NodeId dst)
+{
+    FlowSpec f;
+    f.id = id;
+    f.src = src;
+    f.dst = dst;
+    return f;
+}
+
+} // namespace
+
+TrafficPattern
+uniformPattern(const Mesh2D &mesh)
+{
+    TrafficPattern p;
+    p.groupNames = {"all"};
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        p.flows.push_back(makeFlow(n, n, kInvalidNode));
+        p.groups.push_back(0);
+    }
+    return p;
+}
+
+TrafficPattern
+hotspotPattern(const Mesh2D &mesh, NodeId hotspot)
+{
+    if (hotspot >= mesh.numNodes())
+        fatal("hotspotPattern: node %u out of range", hotspot);
+    TrafficPattern p;
+    p.groupNames = {"all"};
+    FlowId id = 0;
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        if (n == hotspot)
+            continue;
+        p.flows.push_back(makeFlow(id++, n, hotspot));
+        p.groups.push_back(0);
+    }
+    return p;
+}
+
+TrafficPattern
+transposePattern(const Mesh2D &mesh)
+{
+    TrafficPattern p;
+    p.groupNames = {"all"};
+    FlowId id = 0;
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        const NodeId dst = mesh.nodeAt(mesh.yOf(n) % mesh.width(),
+                                       mesh.xOf(n) % mesh.height());
+        if (dst == n)
+            continue;
+        p.flows.push_back(makeFlow(id++, n, dst));
+        p.groups.push_back(0);
+    }
+    return p;
+}
+
+TrafficPattern
+bitComplementPattern(const Mesh2D &mesh)
+{
+    TrafficPattern p;
+    p.groupNames = {"all"};
+    FlowId id = 0;
+    const NodeId n_nodes = mesh.numNodes();
+    for (NodeId n = 0; n < n_nodes; ++n) {
+        const NodeId dst = n_nodes - 1 - n;
+        if (dst == n)
+            continue;
+        p.flows.push_back(makeFlow(id++, n, dst));
+        p.groups.push_back(0);
+    }
+    return p;
+}
+
+TrafficPattern
+neighborPattern(const Mesh2D &mesh)
+{
+    TrafficPattern p;
+    p.groupNames = {"all"};
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        p.flows.push_back(makeFlow(n, n, mesh.nearestNeighbor(n)));
+        p.groups.push_back(0);
+    }
+    return p;
+}
+
+TrafficPattern
+tornadoPattern(const Mesh2D &mesh)
+{
+    TrafficPattern p;
+    p.groupNames = {"all"};
+    FlowId id = 0;
+    const std::uint32_t shift = mesh.width() / 2 - 1;
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        const std::uint32_t dx =
+            (mesh.xOf(n) + shift) % mesh.width();
+        const NodeId dst = mesh.nodeAt(dx, mesh.yOf(n));
+        if (dst == n)
+            continue;
+        p.flows.push_back(makeFlow(id++, n, dst));
+        p.groups.push_back(0);
+    }
+    return p;
+}
+
+TrafficPattern
+shufflePattern(const Mesh2D &mesh)
+{
+    TrafficPattern p;
+    p.groupNames = {"all"};
+    // Bit width of the node id space (mesh sizes are powers of two for
+    // this pattern; otherwise fall back to modular doubling).
+    std::uint32_t bits = 0;
+    while ((1u << bits) < mesh.numNodes())
+        ++bits;
+    FlowId id = 0;
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        NodeId dst;
+        if ((1u << bits) == mesh.numNodes()) {
+            dst = static_cast<NodeId>(
+                ((n << 1) | (n >> (bits - 1))) & (mesh.numNodes() - 1));
+        } else {
+            dst = static_cast<NodeId>((2 * n) % mesh.numNodes());
+        }
+        if (dst == n)
+            continue;
+        p.flows.push_back(makeFlow(id++, n, dst));
+        p.groups.push_back(0);
+    }
+    return p;
+}
+
+TrafficPattern
+dosPattern(const Mesh2D &mesh)
+{
+    if (mesh.numNodes() < 64)
+        fatal("dosPattern expects an 8x8 mesh or larger");
+    const NodeId hotspot = 63;
+    TrafficPattern p;
+    p.groupNames = {"victim", "aggressor48", "aggressor56"};
+
+    FlowSpec victim = makeFlow(0, 0, hotspot);
+    victim.bwShare = 0.25;
+    p.flows.push_back(victim);
+    p.groups.push_back(0);
+
+    FlowSpec agg1 = makeFlow(1, 48, hotspot);
+    agg1.bwShare = 0.25;
+    p.flows.push_back(agg1);
+    p.groups.push_back(1);
+
+    FlowSpec agg2 = makeFlow(2, 56, hotspot);
+    agg2.bwShare = 0.25;
+    p.flows.push_back(agg2);
+    p.groups.push_back(2);
+
+    return p;
+}
+
+TrafficPattern
+pathologicalPattern(const Mesh2D &mesh)
+{
+    TrafficPattern p;
+    p.groupNames = {"grey", "stripped"};
+    const NodeId center = mesh.centerNode();
+    FlowId id = 0;
+    for (std::uint32_t y = 0; y < mesh.height(); ++y) {
+        const NodeId src = mesh.nodeAt(0, y);
+        if (src == center)
+            continue;
+        p.flows.push_back(makeFlow(id++, src, center));
+        p.groups.push_back(0);
+    }
+    // The stripped node: east of the congested column, sending one hop
+    // east, so its path shares no link with the grey flows under XY
+    // routing (Fig. 1).
+    const NodeId stripped = mesh.nodeAt(mesh.width() - 2, 1);
+    p.flows.push_back(makeFlow(id++, stripped,
+                               mesh.nodeAt(mesh.width() - 1, 1)));
+    p.groups.push_back(1);
+    return p;
+}
+
+} // namespace noc

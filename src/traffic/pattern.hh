@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Synthetic traffic patterns used in the paper's evaluation (Section 6)
+ * plus the standard patterns used by the extended test/bench suite.
+ *
+ * A pattern is a set of FlowSpecs (bandwidth shares are assigned
+ * separately, see qos/allocation.hh) plus a parallel vector of default
+ * group labels used by the fairness experiments.
+ */
+
+#ifndef NOC_TRAFFIC_PATTERN_HH
+#define NOC_TRAFFIC_PATTERN_HH
+
+#include <string>
+#include <vector>
+
+#include "net/network.hh"
+#include "net/topology.hh"
+
+namespace noc
+{
+
+/** A pattern: flows plus an optional per-flow group id (for Fig. 10). */
+struct TrafficPattern
+{
+    std::vector<FlowSpec> flows;
+    /** Group index per flow (partitions in Fig. 10; roles in Fig. 12). */
+    std::vector<std::uint32_t> groups;
+    std::vector<std::string> groupNames;
+};
+
+/**
+ * Uniform traffic: each source is one flow (Section 6) whose packets
+ * draw a fresh uniform-random destination.
+ */
+TrafficPattern uniformPattern(const Mesh2D &mesh);
+
+/** Hotspot: every node except the hotspot sends to it (default: 63). */
+TrafficPattern hotspotPattern(const Mesh2D &mesh, NodeId hotspot);
+
+/** Transpose: (x, y) -> (y, x); self-flows are omitted. */
+TrafficPattern transposePattern(const Mesh2D &mesh);
+
+/** Bit-complement: node i -> ~i within the node-id bit width. */
+TrafficPattern bitComplementPattern(const Mesh2D &mesh);
+
+/** Nearest-neighbour: every node sends to an adjacent node. */
+TrafficPattern neighborPattern(const Mesh2D &mesh);
+
+/** Tornado: (x, y) -> (x + w/2 - 1 mod w, y); self-flows omitted. */
+TrafficPattern tornadoPattern(const Mesh2D &mesh);
+
+/** Perfect shuffle on the node id's bits: i -> rotate_left(i, 1). */
+TrafficPattern shufflePattern(const Mesh2D &mesh);
+
+/**
+ * Case Study I (Fig. 12): nodes 0 (victim), 48 and 56 (aggressors) send
+ * to hotspot 63. Groups: 0 = victim, 1..2 = aggressors.
+ */
+TrafficPattern dosPattern(const Mesh2D &mesh);
+
+/**
+ * Case Study II (Fig. 13 / Fig. 1): the nodes of column 0 ("grey") send
+ * to the centre node; one extra node ("stripped") sends to its nearest
+ * neighbour. Groups: 0 = grey, 1 = stripped.
+ */
+TrafficPattern pathologicalPattern(const Mesh2D &mesh);
+
+} // namespace noc
+
+#endif // NOC_TRAFFIC_PATTERN_HH

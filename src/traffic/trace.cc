@@ -1,0 +1,141 @@
+#include "traffic/trace.hh"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+void
+Trace::add(const TraceEvent &ev)
+{
+    if (!events_.empty() && ev.cycle < events_.back().cycle)
+        fatal("Trace: events must be in nondecreasing cycle order "
+              "(%llu after %llu)",
+              static_cast<unsigned long long>(ev.cycle),
+              static_cast<unsigned long long>(events_.back().cycle));
+    if (ev.sizeFlits == 0)
+        fatal("Trace: zero-size packet");
+    events_.push_back(ev);
+}
+
+std::uint64_t
+Trace::totalFlits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ev : events_)
+        n += ev.sizeFlits;
+    return n;
+}
+
+std::vector<FlowSpec>
+Trace::flowTable() const
+{
+    std::map<FlowId, FlowSpec> table;
+    for (const auto &ev : events_) {
+        auto it = table.find(ev.flow);
+        if (it == table.end()) {
+            FlowSpec f;
+            f.id = ev.flow;
+            f.src = ev.src;
+            f.dst = ev.dst;
+            table[ev.flow] = f;
+        } else if (it->second.src != ev.src ||
+                   it->second.dst != ev.dst) {
+            fatal("Trace: flow %u used with inconsistent endpoints",
+                  ev.flow);
+        }
+    }
+    std::vector<FlowSpec> out;
+    // Flow ids must be dense (they index the metrics arrays).
+    FlowId expect = 0;
+    for (const auto &[id, spec] : table) {
+        if (id != expect)
+            fatal("Trace: flow ids must be dense from 0 (missing %u)",
+                  expect);
+        ++expect;
+        out.push_back(spec);
+    }
+    return out;
+}
+
+void
+Trace::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("Trace: cannot write '%s'", path.c_str());
+    out << "# loft-noc trace v1: cycle src dst flow size_flits\n";
+    for (const auto &ev : events_) {
+        out << ev.cycle << ' ' << ev.src << ' ' << ev.dst << ' '
+            << ev.flow << ' ' << ev.sizeFlits << '\n';
+    }
+}
+
+Trace
+Trace::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("Trace: cannot open '%s'", path.c_str());
+    Trace t;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ss(line);
+        TraceEvent ev;
+        if (!(ss >> ev.cycle))
+            continue; // blank / comment-only line
+        if (!(ss >> ev.src >> ev.dst >> ev.flow >> ev.sizeFlits))
+            fatal("Trace: %s:%zu: expected 'cycle src dst flow size'",
+                  path.c_str(), lineno);
+        t.add(ev);
+    }
+    return t;
+}
+
+TraceReplayer::TraceReplayer(Network &network, const Trace &trace)
+    : network_(network), trace_(trace)
+{
+}
+
+void
+TraceReplayer::tick(Cycle now)
+{
+    const auto &events = trace_.events();
+    while (next_ < events.size() && events[next_].cycle <= now) {
+        const TraceEvent &ev = events[next_++];
+        Packet pkt;
+        pkt.id = nextPacketId_++;
+        pkt.flow = ev.flow;
+        pkt.src = ev.src;
+        pkt.dst = ev.dst;
+        pkt.sizeFlits = ev.sizeFlits;
+        pkt.createdAt = ev.cycle;
+        pkt.enqueuedAt = now;
+        pending_.push_back(pkt);
+    }
+    while (!pending_.empty()) {
+        Packet pkt = pending_.front();
+        pkt.enqueuedAt = now;
+        if (!network_.inject(pkt))
+            break;
+        pending_.pop_front();
+        ++injected_;
+    }
+}
+
+bool
+TraceReplayer::done() const
+{
+    return next_ == trace_.events().size() && pending_.empty();
+}
+
+} // namespace noc

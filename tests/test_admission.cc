@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the admission controller, including the end-to-end
+ * property that what it admits can always be registered on a real
+ * LOFT network without violating any link budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/loft_network.hh"
+#include "qos/admission.hh"
+
+namespace noc
+{
+namespace
+{
+
+LoftParams
+smallParams()
+{
+    LoftParams p;
+    p.frameSizeFlits = 64;
+    p.centralBufferFlits = 64;
+    p.maxFlows = 16;
+    return p;
+}
+
+FlowSpec
+flow(FlowId id, NodeId src, NodeId dst, double share)
+{
+    FlowSpec f;
+    f.id = id;
+    f.src = src;
+    f.dst = dst;
+    f.bwShare = share;
+    return f;
+}
+
+TEST(Admission, AdmitAndRelease)
+{
+    Mesh2D mesh(4, 4);
+    AdmissionController ac(mesh, smallParams());
+    const auto adm = ac.admit(flow(0, 0, 15, 0.25));
+    ASSERT_TRUE(adm.has_value());
+    EXPECT_EQ(ac.admittedCount(), 1u);
+    EXPECT_EQ(adm->reservationFlits, 16u); // 0.25 * 64 flits
+    EXPECT_TRUE(ac.release(0));
+    EXPECT_EQ(ac.admittedCount(), 0u);
+    EXPECT_FALSE(ac.release(0));
+}
+
+TEST(Admission, DelayBoundMatchesEquationTwo)
+{
+    Mesh2D mesh(4, 4);
+    LoftParams p = smallParams();
+    AdmissionController ac(mesh, p);
+    const auto adm = ac.admit(flow(0, 0, 15, 0.25));
+    ASSERT_TRUE(adm.has_value());
+    // 6 router links + ejection = 7 hops; F * WF * hops.
+    EXPECT_EQ(adm->delayBound, 64u * 2 * 7);
+}
+
+TEST(Admission, RejectsWhenLinkFull)
+{
+    Mesh2D mesh(4, 4);
+    AdmissionController ac(mesh, smallParams());
+    // Four flows, each 1/4 of the ejection link of node 15: full.
+    for (FlowId f = 0; f < 4; ++f)
+        ASSERT_TRUE(ac.admit(flow(f, f, 15, 0.25)).has_value());
+    EXPECT_FALSE(ac.admit(flow(4, 4, 15, 0.25)).has_value());
+    // A disjoint path is still admissible.
+    EXPECT_TRUE(ac.admit(flow(5, 8, 9, 0.25)).has_value());
+}
+
+TEST(Admission, ReleaseFreesCapacity)
+{
+    Mesh2D mesh(4, 4);
+    AdmissionController ac(mesh, smallParams());
+    for (FlowId f = 0; f < 4; ++f)
+        ASSERT_TRUE(ac.admit(flow(f, f, 15, 0.25)).has_value());
+    ASSERT_FALSE(ac.admit(flow(9, 4, 15, 0.25)).has_value());
+    ASSERT_TRUE(ac.release(2));
+    EXPECT_TRUE(ac.admit(flow(9, 4, 15, 0.25)).has_value());
+}
+
+TEST(Admission, MaxAdmissibleShareShrinks)
+{
+    Mesh2D mesh(4, 4);
+    AdmissionController ac(mesh, smallParams());
+    EXPECT_DOUBLE_EQ(ac.maxAdmissibleShare(0, 15), 1.0);
+    ASSERT_TRUE(ac.admit(flow(0, 0, 15, 0.5)).has_value());
+    EXPECT_DOUBLE_EQ(ac.maxAdmissibleShare(0, 15), 0.5);
+    EXPECT_DOUBLE_EQ(ac.maxAdmissibleShare(1, 15), 0.5);
+    // A path sharing no link with the admitted flow keeps everything.
+    EXPECT_DOUBLE_EQ(ac.maxAdmissibleShare(10, 11), 1.0);
+}
+
+TEST(Admission, DuplicateIdRejected)
+{
+    Mesh2D mesh(4, 4);
+    AdmissionController ac(mesh, smallParams());
+    ASSERT_TRUE(ac.admit(flow(7, 0, 5, 0.1)).has_value());
+    EXPECT_FALSE(ac.admit(flow(7, 1, 6, 0.1)).has_value());
+}
+
+TEST(Admission, ZeroShareRejected)
+{
+    Mesh2D mesh(4, 4);
+    AdmissionController ac(mesh, smallParams());
+    EXPECT_FALSE(ac.admit(flow(0, 0, 5, 0.0)).has_value());
+}
+
+TEST(Admission, FlowCountLimitEnforced)
+{
+    Mesh2D mesh(4, 4);
+    LoftParams p = smallParams();
+    p.maxFlows = 2;
+    AdmissionController ac(mesh, p);
+    ASSERT_TRUE(ac.admit(flow(0, 0, 3, 0.05)).has_value());
+    ASSERT_TRUE(ac.admit(flow(1, 0, 3, 0.05)).has_value());
+    // Plenty of bandwidth left, but only 2 flows may share a link.
+    EXPECT_FALSE(ac.admit(flow(2, 0, 3, 0.05)).has_value());
+    EXPECT_DOUBLE_EQ(ac.maxAdmissibleShare(0, 3), 0.0);
+}
+
+TEST(Admission, AdmittedSetRegistersOnRealNetwork)
+{
+    // End-to-end property: whatever the controller admits can be
+    // registered on a LoftNetwork without tripping the sum(R) <= F
+    // fatal check.
+    Mesh2D mesh(4, 4);
+    const LoftParams p = smallParams();
+    AdmissionController ac(mesh, p);
+    std::vector<FlowSpec> admitted;
+    FlowId id = 0;
+    // Greedily admit a dense population of quarter-link flows.
+    for (NodeId s = 0; s < 16; ++s) {
+        for (NodeId d = 0; d < 16; ++d) {
+            if (s == d)
+                continue;
+            FlowSpec f = flow(id, s, d, 0.25);
+            if (ac.admit(f).has_value()) {
+                admitted.push_back(f);
+                ++id;
+            }
+        }
+    }
+    EXPECT_GT(admitted.size(), 4u);
+    LoftNetwork net(mesh, p);
+    net.registerFlows(admitted); // would fatal() on oversubscription
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the round-robin and priority arbiters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "router/arbiter.hh"
+
+namespace noc
+{
+namespace
+{
+
+TEST(Arbiter, NoRequestsNoGrant)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.arbitrate({false, false, false, false}),
+              RoundRobinArbiter::npos);
+}
+
+TEST(Arbiter, SingleRequestWins)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.arbitrate({false, false, true, false}), 2u);
+}
+
+TEST(Arbiter, RoundRobinRotation)
+{
+    RoundRobinArbiter arb(3);
+    const std::vector<bool> all{true, true, true};
+    EXPECT_EQ(arb.arbitrate(all), 0u);
+    EXPECT_EQ(arb.arbitrate(all), 1u);
+    EXPECT_EQ(arb.arbitrate(all), 2u);
+    EXPECT_EQ(arb.arbitrate(all), 0u);
+}
+
+TEST(Arbiter, FairnessOverManyRounds)
+{
+    RoundRobinArbiter arb(4);
+    const std::vector<bool> all{true, true, true, true};
+    std::vector<int> wins(4, 0);
+    for (int i = 0; i < 400; ++i)
+        ++wins[arb.arbitrate(all)];
+    for (int w : wins)
+        EXPECT_EQ(w, 100);
+}
+
+TEST(Arbiter, SkipsNonRequestors)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.arbitrate({true, false, true, false}), 0u);
+    EXPECT_EQ(arb.arbitrate({true, false, true, false}), 2u);
+    EXPECT_EQ(arb.arbitrate({true, false, true, false}), 0u);
+}
+
+TEST(Arbiter, PriorityLowestKeyWins)
+{
+    RoundRobinArbiter arb(3);
+    const std::vector<bool> req{true, true, true};
+    EXPECT_EQ(arb.arbitrate(req, {5, 2, 9}), 1u);
+    EXPECT_EQ(arb.arbitrate(req, {1, 2, 9}), 0u);
+}
+
+TEST(Arbiter, PriorityTieBreaksRoundRobin)
+{
+    RoundRobinArbiter arb(3);
+    const std::vector<bool> req{true, true, true};
+    const std::vector<std::uint64_t> keys{7, 7, 7};
+    const auto a = arb.arbitrate(req, keys);
+    const auto b = arb.arbitrate(req, keys);
+    const auto c = arb.arbitrate(req, keys);
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    EXPECT_NE(a, c);
+}
+
+TEST(Arbiter, PriorityIgnoresNonRequestorKeys)
+{
+    RoundRobinArbiter arb(3);
+    // Input 0 has the lowest key but is not requesting.
+    EXPECT_EQ(arb.arbitrate({false, true, true}, {0, 9, 4}), 2u);
+}
+
+TEST(Arbiter, SizeMismatchPanics)
+{
+    RoundRobinArbiter arb(3);
+    EXPECT_DEATH(arb.arbitrate({true, true}), "mismatch");
+}
+
+} // namespace
+} // namespace noc

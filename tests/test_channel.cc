@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the pipelined channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/channel.hh"
+
+namespace noc
+{
+namespace
+{
+
+TEST(Channel, NotReadyBeforeLatency)
+{
+    Channel<int> ch(3);
+    ch.send(10, 42);
+    EXPECT_FALSE(ch.ready(10));
+    EXPECT_FALSE(ch.ready(12));
+    EXPECT_TRUE(ch.ready(13));
+    EXPECT_EQ(ch.receive(13), 42);
+    EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, FifoOrder)
+{
+    Channel<int> ch(1);
+    ch.send(0, 1);
+    ch.send(1, 2);
+    ch.send(2, 3);
+    EXPECT_EQ(ch.receive(5), 1);
+    EXPECT_EQ(ch.receive(5), 2);
+    EXPECT_EQ(ch.receive(5), 3);
+}
+
+TEST(Channel, TryReceiveReturnsNulloptWhenEmpty)
+{
+    Channel<int> ch(1);
+    EXPECT_FALSE(ch.tryReceive(100).has_value());
+    ch.send(100, 7);
+    EXPECT_FALSE(ch.tryReceive(100).has_value());
+    auto v = ch.tryReceive(101);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7);
+}
+
+TEST(Channel, PeekDoesNotConsume)
+{
+    Channel<int> ch(1);
+    ch.send(0, 5);
+    EXPECT_EQ(ch.peek(1), 5);
+    EXPECT_EQ(ch.peek(1), 5);
+    EXPECT_EQ(ch.receive(1), 5);
+}
+
+TEST(Channel, InFlightCount)
+{
+    Channel<int> ch(4);
+    EXPECT_EQ(ch.inFlightCount(), 0u);
+    ch.send(0, 1);
+    ch.send(0, 2);
+    EXPECT_EQ(ch.inFlightCount(), 2u);
+    (void)ch.receive(4);
+    EXPECT_EQ(ch.inFlightCount(), 1u);
+}
+
+TEST(Channel, MinimumLatencyIsOne)
+{
+    // A same-cycle channel would break the tick-order independence
+    // guarantee; the constructor must reject it.
+    EXPECT_DEATH(Channel<int>(0), "latency");
+}
+
+TEST(Channel, ReceiveWithoutReadyPanics)
+{
+    Channel<int> ch(2);
+    ch.send(0, 9);
+    EXPECT_DEATH((void)ch.receive(1), "nothing deliverable");
+}
+
+} // namespace
+} // namespace noc

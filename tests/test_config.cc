@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the key=value configuration store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/config.hh"
+
+namespace noc
+{
+namespace
+{
+
+TEST(Config, ParseTokens)
+{
+    Config c;
+    c.parseTokens({"a=1", "b=hello", "c=2.5"});
+    EXPECT_EQ(c.getInt("a", 0), 1);
+    EXPECT_EQ(c.getString("b", ""), "hello");
+    EXPECT_DOUBLE_EQ(c.getDouble("c", 0.0), 2.5);
+}
+
+TEST(Config, DefaultsWhenMissing)
+{
+    Config c;
+    EXPECT_EQ(c.getInt("nope", 42), 42);
+    EXPECT_EQ(c.getString("nope", "d"), "d");
+    EXPECT_TRUE(c.getBool("nope", true));
+    EXPECT_FALSE(c.has("nope"));
+}
+
+TEST(Config, LaterValueWins)
+{
+    Config c;
+    c.parseTokens({"x=1", "x=2"});
+    EXPECT_EQ(c.getInt("x", 0), 2);
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    c.parseTokens({"a=true", "b=0", "c=yes", "d=off"});
+    EXPECT_TRUE(c.getBool("a", false));
+    EXPECT_FALSE(c.getBool("b", true));
+    EXPECT_TRUE(c.getBool("c", false));
+    EXPECT_FALSE(c.getBool("d", true));
+}
+
+TEST(Config, MalformedTokenIsFatal)
+{
+    Config c;
+    EXPECT_EXIT(c.parseTokens({"novalue"}),
+                ::testing::ExitedWithCode(1), "key=value");
+    EXPECT_EXIT(c.parseTokens({"=5"}), ::testing::ExitedWithCode(1),
+                "key=value");
+}
+
+TEST(Config, BadNumberIsFatal)
+{
+    Config c;
+    c.parseTokens({"n=abc"});
+    EXPECT_EXIT((void)c.getInt("n", 0), ::testing::ExitedWithCode(1),
+                "not an integer");
+}
+
+TEST(Config, NegativeUIntIsFatal)
+{
+    Config c;
+    c.parseTokens({"n=-3"});
+    EXPECT_EXIT((void)c.getUInt("n", 0), ::testing::ExitedWithCode(1),
+                "non-negative");
+}
+
+TEST(Config, FileParsingWithComments)
+{
+    const std::string path = ::testing::TempDir() + "/loft_cfg_test";
+    {
+        std::ofstream out(path);
+        out << "# comment\n"
+            << "rate = 0.25   # trailing comment\n"
+            << "\n"
+            << "net=gsf\n";
+    }
+    Config c;
+    c.parseFile(path);
+    EXPECT_DOUBLE_EQ(c.getDouble("rate", 0.0), 0.25);
+    EXPECT_EQ(c.getString("net", ""), "gsf");
+    std::remove(path.c_str());
+}
+
+TEST(Config, MissingFileIsFatal)
+{
+    Config c;
+    EXPECT_EXIT(c.parseFile("/nonexistent/loft.cfg"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Config, UnusedKeysDetected)
+{
+    Config c;
+    c.parseTokens({"used=1", "typo=2"});
+    (void)c.getInt("used", 0);
+    const auto unused = c.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "typo");
+}
+
+} // namespace
+} // namespace noc

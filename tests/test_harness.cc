@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Smoke tests for the experiment harness used by the benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+#include "qos/allocation.hh"
+
+namespace noc
+{
+namespace
+{
+
+RunConfig
+fastConfig(NetKind kind)
+{
+    RunConfig c;
+    c.kind = kind;
+    c.meshWidth = 4;
+    c.meshHeight = 4;
+    c.warmupCycles = 500;
+    c.measureCycles = 1500;
+    c.loft.frameSizeFlits = 64;
+    c.loft.centralBufferFlits = 64;
+    c.loft.specBufferFlits = 8;
+    c.loft.maxFlows = 16;
+    c.loft.sourceQueueFlits = 32;
+    c.gsf.frameSizeFlits = 200;
+    c.gsf.sourceQueueFlits = 200;
+    return c;
+}
+
+TrafficPattern
+neighborFlows(const Mesh2D &mesh)
+{
+    TrafficPattern p = neighborPattern(mesh);
+    setEqualSharesByMaxFlows(p.flows, 16);
+    return p;
+}
+
+TEST(Harness, LoftRunProducesTraffic)
+{
+    auto c = fastConfig(NetKind::Loft);
+    Mesh2D mesh(4, 4);
+    const auto r = runExperiment(c, neighborFlows(mesh), 0.1);
+    EXPECT_GT(r.totalPackets, 0u);
+    EXPECT_NEAR(r.networkThroughput, 0.1, 0.03);
+    EXPECT_GT(r.avgPacketLatency, 0.0);
+    EXPECT_EQ(r.anomalyViolations, 0u);
+    EXPECT_EQ(r.flowThroughput.size(), 16u);
+}
+
+TEST(Harness, GsfRunProducesTraffic)
+{
+    auto c = fastConfig(NetKind::Gsf);
+    Mesh2D mesh(4, 4);
+    const auto r = runExperiment(c, neighborFlows(mesh), 0.1);
+    EXPECT_GT(r.totalPackets, 0u);
+    EXPECT_NEAR(r.networkThroughput, 0.1, 0.03);
+    EXPECT_GT(r.frameRecycles, 0u);
+}
+
+TEST(Harness, WormholeRunProducesTraffic)
+{
+    auto c = fastConfig(NetKind::Wormhole);
+    Mesh2D mesh(4, 4);
+    const auto r = runExperiment(c, neighborFlows(mesh), 0.1);
+    EXPECT_GT(r.totalPackets, 0u);
+    EXPECT_NEAR(r.networkThroughput, 0.1, 0.03);
+}
+
+TEST(Harness, DeterministicForSameSeed)
+{
+    auto c = fastConfig(NetKind::Loft);
+    Mesh2D mesh(4, 4);
+    const auto a = runExperiment(c, neighborFlows(mesh), 0.2);
+    const auto b = runExperiment(c, neighborFlows(mesh), 0.2);
+    EXPECT_EQ(a.totalFlits, b.totalFlits);
+    EXPECT_DOUBLE_EQ(a.avgPacketLatency, b.avgPacketLatency);
+}
+
+TEST(Harness, SeedChangesOutcome)
+{
+    auto c = fastConfig(NetKind::Loft);
+    Mesh2D mesh(4, 4);
+    const auto a = runExperiment(c, neighborFlows(mesh), 0.2);
+    c.seed = 999;
+    const auto b = runExperiment(c, neighborFlows(mesh), 0.2);
+    EXPECT_NE(a.totalFlits, b.totalFlits);
+}
+
+TEST(Harness, PerFlowRatesRespected)
+{
+    auto c = fastConfig(NetKind::Loft);
+    Mesh2D mesh(4, 4);
+    auto p = neighborFlows(mesh);
+    auto rates = uniformRates(p.flows.size(), 0.0);
+    rates[3].flitsPerCycle = 0.2;
+    const auto r = runExperiment(c, p, rates);
+    EXPECT_NEAR(r.flowThroughput[3], 0.2, 0.05);
+    EXPECT_DOUBLE_EQ(r.flowThroughput[0], 0.0);
+}
+
+TEST(Harness, EnvScaleShortensRuns)
+{
+    RunConfig c;
+    c.warmupCycles = 1000;
+    c.measureCycles = 1000;
+    setenv("LOFT_SIM_SCALE", "0.5", 1);
+    c.applyEnvScale();
+    unsetenv("LOFT_SIM_SCALE");
+    EXPECT_EQ(c.warmupCycles, 500u);
+    EXPECT_EQ(c.measureCycles, 500u);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * White-box tests of the LOFT building blocks through a hand-wired
+ * two-node network slice (NI -> router -> router -> sink): scheduled
+ * (emergent) vs early (speculative) transfer lanes, sticky quantum
+ * buffer choice, credit conservation, input-table back-pressure, and
+ * the local-reset conditions on a live link.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/loft_network.hh"
+#include "sim/simulator.hh"
+
+namespace noc
+{
+namespace
+{
+
+/** A 2x1 slice with one flow 0 -> 1 built on a full LoftNetwork. */
+class SliceTest : public ::testing::Test
+{
+  protected:
+    void
+    build(LoftParams p, double share = 0.25)
+    {
+        params_ = p;
+        mesh_ = std::make_unique<Mesh2D>(2, 1);
+        net_ = std::make_unique<LoftNetwork>(*mesh_, p);
+        FlowSpec f;
+        f.id = 0;
+        f.src = 0;
+        f.dst = 1;
+        f.bwShare = share;
+        net_->registerFlows({f});
+        net_->attach(sim_);
+        net_->metrics().startMeasurement(0);
+    }
+
+    static LoftParams
+    smallParams()
+    {
+        LoftParams p;
+        p.frameSizeFlits = 32;
+        p.centralBufferFlits = 32;
+        p.specBufferFlits = 8;
+        p.maxFlows = 4;
+        p.sourceQueueFlits = 0;
+        return p;
+    }
+
+    void
+    injectPackets(int n, std::uint32_t size = 4)
+    {
+        for (int i = 0; i < n; ++i) {
+            Packet pkt;
+            pkt.id = static_cast<PacketId>(i + 1);
+            pkt.flow = 0;
+            pkt.src = 0;
+            pkt.dst = 1;
+            pkt.sizeFlits = size;
+            pkt.createdAt = sim_.now();
+            pkt.enqueuedAt = sim_.now();
+            ASSERT_TRUE(net_->inject(pkt));
+        }
+    }
+
+    LoftParams params_;
+    std::unique_ptr<Mesh2D> mesh_;
+    std::unique_ptr<LoftNetwork> net_;
+    Simulator sim_;
+};
+
+TEST_F(SliceTest, EarlyTransfersUseSpeculativeLane)
+{
+    build(smallParams());
+    injectPackets(2);
+    ASSERT_TRUE(sim_.runUntil(
+        [&] { return net_->metrics().totalPackets() == 2; }, 500));
+    // An idle slice forwards everything early: speculative forwards
+    // dominate, emergent transfers are the exception.
+    EXPECT_GT(net_->totalSpeculativeForwards(),
+              net_->totalEmergentForwards());
+}
+
+TEST_F(SliceTest, NoSpeculationMeansOnlyEmergentTransfers)
+{
+    LoftParams p = smallParams();
+    p.speculativeSwitching = false;
+    p.specBufferFlits = 0;
+    build(p);
+    injectPackets(2);
+    ASSERT_TRUE(sim_.runUntil(
+        [&] { return net_->metrics().totalPackets() == 2; }, 2000));
+    EXPECT_EQ(net_->totalSpeculativeForwards(), 0u);
+    EXPECT_GT(net_->totalEmergentForwards(), 0u);
+}
+
+TEST_F(SliceTest, ScheduledPathBoundsLatencyWithoutSpeculation)
+{
+    // Without speculation, transfers happen at booked slots: per-hop
+    // latency is a few slots, far below the frame-window bound.
+    LoftParams p = smallParams();
+    p.speculativeSwitching = false;
+    p.specBufferFlits = 0;
+    build(p);
+    injectPackets(1);
+    ASSERT_TRUE(sim_.runUntil(
+        [&] { return net_->metrics().totalPackets() == 1; }, 2000));
+    const double bound = static_cast<double>(p.frameSizeFlits) *
+                         p.windowFrames * 2; // 2 links
+    EXPECT_LT(net_->metrics().avgPacketLatency(), bound);
+}
+
+TEST_F(SliceTest, CreditsFullyRestoredAfterDrain)
+{
+    build(smallParams());
+    injectPackets(6);
+    ASSERT_TRUE(sim_.runUntil(
+        [&] { return net_->metrics().totalPackets() == 6; }, 2000));
+    sim_.run(64); // let all credit messages land
+    EXPECT_EQ(net_->flitsInFlight(), 0u);
+    // After full drain the link idles and resets, restoring a fresh
+    // window: further traffic schedules immediately again.
+    injectPackets(1);
+    const Cycle before = sim_.now();
+    ASSERT_TRUE(sim_.runUntil(
+        [&] { return net_->metrics().totalPackets() == 7; }, 200));
+    EXPECT_LT(sim_.now() - before, 60u);
+}
+
+TEST_F(SliceTest, ThroughputScalesWithReservationWhenMechanismsOff)
+{
+    // With speculation and reset disabled, accepted throughput is
+    // pinned to R/F per frame — the guaranteed rate. A longer frame
+    // keeps the per-frame pipeline-fill boundary effect small.
+    LoftParams p = smallParams();
+    p.frameSizeFlits = 128;
+    p.centralBufferFlits = 128;
+    p.speculativeSwitching = false;
+    p.specBufferFlits = 0;
+    p.localStatusReset = false;
+    build(p, 0.25); // R = 32 flits per 128-flit frame
+    injectPackets(200);
+    sim_.run(4000);
+    net_->metrics().stopMeasurement(sim_.now());
+    EXPECT_NEAR(net_->metrics().flowThroughput(0), 0.25, 0.05);
+}
+
+TEST_F(SliceTest, QuantumOfOneFlit)
+{
+    LoftParams p = smallParams();
+    p.quantumFlits = 1;
+    build(p);
+    injectPackets(3, 3); // odd sizes with single-flit quanta
+    ASSERT_TRUE(sim_.runUntil(
+        [&] { return net_->metrics().totalPackets() == 3; }, 1000));
+    EXPECT_EQ(net_->metrics().totalFlits(), 9u);
+    EXPECT_EQ(net_->totalAnomalyViolations(), 0u);
+}
+
+TEST_F(SliceTest, LargeQuantum)
+{
+    LoftParams p = smallParams();
+    p.quantumFlits = 4;
+    build(p);
+    injectPackets(3, 8);
+    ASSERT_TRUE(sim_.runUntil(
+        [&] { return net_->metrics().totalPackets() == 3; }, 1000));
+    EXPECT_EQ(net_->metrics().totalFlits(), 24u);
+}
+
+TEST_F(SliceTest, UtilizationCountersTrackForwards)
+{
+    build(smallParams());
+    injectPackets(8);
+    ASSERT_TRUE(sim_.runUntil(
+        [&] { return net_->metrics().totalPackets() == 8; }, 2000));
+    const auto util = net_->linkUtilization(sim_.now());
+    // node 0 East and node 1 Local carried all 32 flits.
+    const double east0 = util[0 * kNumPorts + portIndex(Port::East)];
+    const double local1 = util[1 * kNumPorts + portIndex(Port::Local)];
+    EXPECT_NEAR(east0 * sim_.now(), 32.0, 0.5);
+    EXPECT_NEAR(local1 * sim_.now(), 32.0, 0.5);
+    // No other port forwarded anything.
+    double others = 0.0;
+    for (std::size_t i = 0; i < util.size(); ++i) {
+        if (i != 0 * kNumPorts + portIndex(Port::East) &&
+            i != 1 * kNumPorts + portIndex(Port::Local)) {
+            others += util[i];
+        }
+    }
+    EXPECT_DOUBLE_EQ(others, 0.0);
+}
+
+TEST_F(SliceTest, SinkReassemblesInterleavedPackets)
+{
+    // Two flows from the same source interleave quanta on the link;
+    // the sink must reassemble both packets correctly.
+    LoftParams p = smallParams();
+    mesh_ = std::make_unique<Mesh2D>(2, 1);
+    net_ = std::make_unique<LoftNetwork>(*mesh_, p);
+    FlowSpec a, b;
+    a.id = 0;
+    a.src = 0;
+    a.dst = 1;
+    a.bwShare = 0.25;
+    b.id = 1;
+    b.src = 0;
+    b.dst = 1;
+    b.bwShare = 0.25;
+    net_->registerFlows({a, b});
+    net_->attach(sim_);
+    net_->metrics().startMeasurement(0);
+    for (PacketId id = 1; id <= 6; ++id) {
+        Packet pkt;
+        pkt.id = id;
+        pkt.flow = id % 2;
+        pkt.src = 0;
+        pkt.dst = 1;
+        pkt.sizeFlits = 4;
+        ASSERT_TRUE(net_->inject(pkt));
+    }
+    ASSERT_TRUE(sim_.runUntil(
+        [&] { return net_->metrics().totalPackets() == 6; }, 2000));
+    EXPECT_EQ(net_->metrics().flow(0).flitsEjected, 12u);
+    EXPECT_EQ(net_->metrics().flow(1).flitsEjected, 12u);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Unit tests for logging helpers (the printable parts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+namespace
+{
+
+TEST(Logging, CsprintfFormats)
+{
+    EXPECT_EQ(csprintf("x=%d y=%s", 3, "ok"), "x=3 y=ok");
+    EXPECT_EQ(csprintf("%05u", 42u), "00042");
+}
+
+TEST(Logging, CsprintfLongString)
+{
+    std::string big(500, 'a');
+    EXPECT_EQ(csprintf("%s!", big.c_str()), big + "!");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 1), "boom 1");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+} // namespace
+} // namespace noc

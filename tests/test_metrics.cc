@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the metrics collector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/metrics.hh"
+
+namespace noc
+{
+namespace
+{
+
+TEST(Metrics, IgnoresEventsOutsideWindow)
+{
+    MetricsCollector m(2);
+    m.onFlitEjected(0);
+    m.onPacketEjected(0, 0, 10);
+    EXPECT_EQ(m.totalFlits(), 0u);
+    m.startMeasurement(100);
+    m.onFlitEjected(0);
+    m.stopMeasurement(200);
+    m.onFlitEjected(0);
+    EXPECT_EQ(m.totalFlits(), 1u);
+}
+
+TEST(Metrics, ThroughputAccounting)
+{
+    MetricsCollector m(2);
+    m.startMeasurement(0);
+    for (int i = 0; i < 50; ++i)
+        m.onFlitEjected(0);
+    for (int i = 0; i < 25; ++i)
+        m.onFlitEjected(1);
+    m.stopMeasurement(100);
+    EXPECT_DOUBLE_EQ(m.flowThroughput(0), 0.5);
+    EXPECT_DOUBLE_EQ(m.flowThroughput(1), 0.25);
+    EXPECT_DOUBLE_EQ(m.networkThroughput(3), 0.25);
+}
+
+TEST(Metrics, LatencyAccounting)
+{
+    MetricsCollector m(1);
+    m.startMeasurement(0);
+    m.onPacketEjected(0, 10, 30);
+    m.onPacketEjected(0, 20, 60);
+    m.stopMeasurement(100);
+    EXPECT_DOUBLE_EQ(m.avgPacketLatency(), 30.0);
+    EXPECT_DOUBLE_EQ(m.maxPacketLatency(), 40.0);
+    EXPECT_EQ(m.totalPackets(), 2u);
+    EXPECT_DOUBLE_EQ(m.flow(0).packetLatency.mean(), 30.0);
+}
+
+TEST(Metrics, StartClearsPrevious)
+{
+    MetricsCollector m(1);
+    m.startMeasurement(0);
+    m.onFlitEjected(0);
+    m.stopMeasurement(10);
+    m.startMeasurement(20);
+    m.stopMeasurement(30);
+    EXPECT_EQ(m.totalFlits(), 0u);
+    EXPECT_EQ(m.windowCycles(), 10u);
+}
+
+TEST(Metrics, OutOfRangeFlowPanics)
+{
+    MetricsCollector m(1);
+    m.startMeasurement(0);
+    EXPECT_DEATH(m.onFlitEjected(5), "out of range");
+}
+
+} // namespace
+} // namespace noc

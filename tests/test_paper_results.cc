@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Regression tests pinning the reproduced headline results of the
+ * paper at full 8x8 / Table 1 scale (each test is one short
+ * simulation; together they guard the Fig. 10 / 12 / 13 shapes
+ * end to end).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "qos/allocation.hh"
+
+namespace noc
+{
+namespace
+{
+
+RunConfig
+fastLoft()
+{
+    RunConfig c;
+    c.kind = NetKind::Loft;
+    c.warmupCycles = 3000;
+    c.measureCycles = 6000;
+    return c;
+}
+
+TEST(PaperResults, Fig10aHotspotFairness)
+{
+    // Saturated hotspot with equal 1/64 reservations: every flow gets
+    // ~1/64 of the ejection link, with a tight spread (paper: AVG
+    // 0.0156, STDEV 0.4%).
+    Mesh2D mesh(8, 8);
+    TrafficPattern p = hotspotPattern(mesh, 63);
+    setEqualSharesByMaxFlows(p.flows, 64);
+    const RunResult r = runExperiment(fastLoft(), p, 0.5);
+    const FairnessSummary s = summarizeFairness(r.flowThroughput);
+    EXPECT_NEAR(s.avg, 1.0 / 64, 0.0015);
+    EXPECT_LT(s.rsd, 0.05);
+    EXPECT_GT(s.jain, 0.99);
+    // Ejection link utilization stays high (paper: ~full).
+    EXPECT_GT(r.networkThroughput * 64, 0.9);
+    EXPECT_EQ(r.anomalyViolations, 0u);
+}
+
+TEST(PaperResults, Fig13StrippedNodeIsolation)
+{
+    // The stripped node keeps nearly its full offered rate despite the
+    // congested centre (paper: ~0.95 at 0.95 offered).
+    Mesh2D mesh(8, 8);
+    TrafficPattern p = pathologicalPattern(mesh);
+    setEqualSharesByMaxFlows(p.flows, 64);
+    const RunResult r = runExperiment(fastLoft(), p, 0.95);
+    double stripped = 0.0;
+    double grey_avg = 0.0;
+    int greys = 0;
+    for (std::size_t i = 0; i < p.flows.size(); ++i) {
+        if (p.groups[i] == 1) {
+            stripped = r.flowThroughput[i];
+        } else {
+            grey_avg += r.flowThroughput[i];
+            ++greys;
+        }
+    }
+    grey_avg /= greys;
+    EXPECT_GT(stripped, 0.85);
+    // Greys share the centre ejection link fairly (1/8 each).
+    EXPECT_NEAR(grey_avg, 1.0 / 8, 0.02);
+}
+
+TEST(PaperResults, Fig13GsfThrottlesStrippedNode)
+{
+    // On GSF the stripped node is dragged down to the greys' rate by
+    // the globally synchronized frame recycling.
+    Mesh2D mesh(8, 8);
+    TrafficPattern p = pathologicalPattern(mesh);
+    setEqualSharesByMaxFlows(p.flows, 64);
+    RunConfig c = fastLoft();
+    c.kind = NetKind::Gsf;
+    const RunResult r = runExperiment(c, p, 0.95);
+    double stripped = 0.0;
+    for (std::size_t i = 0; i < p.flows.size(); ++i) {
+        if (p.groups[i] == 1)
+            stripped = r.flowThroughput[i];
+    }
+    EXPECT_LT(stripped, 0.3);
+}
+
+TEST(PaperResults, Fig12VictimProtectedUnderAggression)
+{
+    // Case Study I at max aggression: the victim keeps its regulated
+    // 0.2 flits/cycle and a latency within a small factor of its
+    // uncontended value, while the aggressors pay.
+    Mesh2D mesh(8, 8);
+    const TrafficPattern p = dosPattern(mesh);
+    std::vector<FlowRate> rates(3);
+    rates[0].flitsPerCycle = 0.2;
+    rates[0].process = InjectionProcess::Periodic;
+    rates[1].flitsPerCycle = 0.8;
+    rates[2].flitsPerCycle = 0.8;
+    const RunResult r = runExperiment(fastLoft(), p, rates);
+    EXPECT_NEAR(r.flowThroughput[0], 0.2, 0.01);
+    EXPECT_LT(r.flowAvgLatency[0], 200.0);
+    EXPECT_GT(r.flowAvgLatency[1], 2.0 * r.flowAvgLatency[0]);
+    EXPECT_GT(r.flowAvgLatency[2], 2.0 * r.flowAvgLatency[0]);
+}
+
+TEST(PaperResults, Fig10cDifferentiatedProportional)
+{
+    // Two diagonal partitions weighted 3:1 receive 3:1 throughput.
+    Mesh2D mesh(8, 8);
+    TrafficPattern p = hotspotPattern(mesh, 63);
+    const auto part = diagonalPartition(mesh);
+    p.groups.clear();
+    for (const auto &f : p.flows)
+        p.groups.push_back(part[f.src]);
+    p.groupNames = {"heavy", "light"};
+    setGroupWeightedShares(p, mesh, {3.0, 1.0});
+    const RunResult r = runExperiment(fastLoft(), p, 0.5);
+    double heavy = 0.0, light = 0.0;
+    int nh = 0, nl = 0;
+    for (std::size_t i = 0; i < p.flows.size(); ++i) {
+        if (p.groups[i] == 0) {
+            heavy += r.flowThroughput[i];
+            ++nh;
+        } else {
+            light += r.flowThroughput[i];
+            ++nl;
+        }
+    }
+    heavy /= nh;
+    light /= nl;
+    EXPECT_NEAR(heavy / light, 3.0, 0.4);
+}
+
+} // namespace
+} // namespace noc

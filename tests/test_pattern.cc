@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the traffic patterns of Section 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/routing.hh"
+#include "traffic/pattern.hh"
+
+namespace noc
+{
+namespace
+{
+
+TEST(Pattern, UniformOneFlowPerSource)
+{
+    Mesh2D m(8, 8);
+    const auto p = uniformPattern(m);
+    EXPECT_EQ(p.flows.size(), 64u);
+    for (NodeId n = 0; n < 64; ++n) {
+        EXPECT_EQ(p.flows[n].src, n);
+        EXPECT_TRUE(p.flows[n].randomDst());
+    }
+}
+
+TEST(Pattern, HotspotAllToNode63)
+{
+    Mesh2D m(8, 8);
+    const auto p = hotspotPattern(m, 63);
+    EXPECT_EQ(p.flows.size(), 63u);
+    for (const auto &f : p.flows) {
+        EXPECT_EQ(f.dst, 63u);
+        EXPECT_NE(f.src, 63u);
+    }
+}
+
+TEST(Pattern, DosMatchesCaseStudyOne)
+{
+    Mesh2D m(8, 8);
+    const auto p = dosPattern(m);
+    ASSERT_EQ(p.flows.size(), 3u);
+    EXPECT_EQ(p.flows[0].src, 0u);
+    EXPECT_EQ(p.flows[1].src, 48u);
+    EXPECT_EQ(p.flows[2].src, 56u);
+    for (const auto &f : p.flows) {
+        EXPECT_EQ(f.dst, 63u);
+        EXPECT_DOUBLE_EQ(f.bwShare, 0.25); // 1/4 link bandwidth each
+    }
+    EXPECT_EQ(p.groups[0], 0u);
+    EXPECT_EQ(p.groups[1], 1u);
+    EXPECT_EQ(p.groups[2], 2u);
+}
+
+TEST(Pattern, PathologicalMatchesFigOne)
+{
+    Mesh2D m(8, 8);
+    const auto p = pathologicalPattern(m);
+    const NodeId center = m.centerNode();
+    std::size_t greys = 0;
+    bool stripped_seen = false;
+    for (std::size_t i = 0; i < p.flows.size(); ++i) {
+        const auto &f = p.flows[i];
+        if (p.groups[i] == 0) {
+            ++greys;
+            EXPECT_EQ(m.xOf(f.src), 0u);
+            EXPECT_EQ(f.dst, center);
+        } else {
+            stripped_seen = true;
+            EXPECT_EQ(m.hopDistance(f.src, f.dst), 1u);
+        }
+    }
+    EXPECT_EQ(greys, 8u);
+    EXPECT_TRUE(stripped_seen);
+}
+
+TEST(Pattern, StrippedPathDisjointFromGreyPaths)
+{
+    // The defining property of Fig. 1: the stripped node shares no link
+    // with the grey flows under XY routing.
+    Mesh2D m(8, 8);
+    const auto p = pathologicalPattern(m);
+    std::set<std::pair<NodeId, Port>> grey_links;
+    std::set<std::pair<NodeId, Port>> stripped_links;
+    for (std::size_t i = 0; i < p.flows.size(); ++i) {
+        auto &links = p.groups[i] == 0 ? grey_links : stripped_links;
+        for (const auto &hop :
+             xyPath(m, p.flows[i].src, p.flows[i].dst)) {
+            links.insert({hop.node, hop.out});
+        }
+    }
+    for (const auto &l : stripped_links)
+        EXPECT_EQ(grey_links.count(l), 0u);
+}
+
+TEST(Pattern, TransposeSymmetric)
+{
+    Mesh2D m(8, 8);
+    const auto p = transposePattern(m);
+    for (const auto &f : p.flows) {
+        EXPECT_EQ(m.xOf(f.src), m.yOf(f.dst));
+        EXPECT_EQ(m.yOf(f.src), m.xOf(f.dst));
+    }
+}
+
+TEST(Pattern, BitComplementEndsOpposite)
+{
+    Mesh2D m(8, 8);
+    const auto p = bitComplementPattern(m);
+    for (const auto &f : p.flows)
+        EXPECT_EQ(f.dst, 63u - f.src);
+}
+
+TEST(Pattern, NeighborAllOneHop)
+{
+    Mesh2D m(8, 8);
+    const auto p = neighborPattern(m);
+    EXPECT_EQ(p.flows.size(), 64u);
+    for (const auto &f : p.flows)
+        EXPECT_EQ(m.hopDistance(f.src, f.dst), 1u);
+}
+
+TEST(Pattern, TornadoShiftsHalfWidth)
+{
+    Mesh2D m(8, 8);
+    const auto p = tornadoPattern(m);
+    for (const auto &f : p.flows) {
+        EXPECT_EQ(m.yOf(f.dst), m.yOf(f.src));
+        EXPECT_EQ(m.xOf(f.dst), (m.xOf(f.src) + 3) % 8);
+    }
+}
+
+TEST(Pattern, ShuffleRotatesBits)
+{
+    Mesh2D m(8, 8);
+    const auto p = shufflePattern(m);
+    for (const auto &f : p.flows) {
+        const NodeId expect =
+            static_cast<NodeId>(((f.src << 1) | (f.src >> 5)) & 63);
+        EXPECT_EQ(f.dst, expect);
+        EXPECT_NE(f.dst, f.src);
+    }
+    // Nodes 0 and 63 map to themselves and are omitted.
+    EXPECT_EQ(p.flows.size(), 62u);
+}
+
+TEST(Pattern, ShuffleNonPowerOfTwoFallsBack)
+{
+    Mesh2D m(3, 2);
+    const auto p = shufflePattern(m);
+    for (const auto &f : p.flows)
+        EXPECT_EQ(f.dst, (2 * f.src) % 6);
+}
+
+TEST(Pattern, FlowIdsAreDense)
+{
+    Mesh2D m(8, 8);
+    for (const auto &p : {uniformPattern(m), hotspotPattern(m, 63),
+                          pathologicalPattern(m)}) {
+        for (std::size_t i = 0; i < p.flows.size(); ++i)
+            EXPECT_EQ(p.flows[i].id, i);
+    }
+}
+
+} // namespace
+} // namespace noc

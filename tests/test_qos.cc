@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the QoS utilities: reservation allocation, delay
+ * bounds (Section 5.3.1), the hardware cost model (Table 2), and the
+ * per-group fairness summaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/allocation.hh"
+#include "qos/delay_bound.hh"
+#include "qos/group_metrics.hh"
+#include "qos/hw_cost.hh"
+
+namespace noc
+{
+namespace
+{
+
+TEST(Allocation, HotspotContentionIsAtEjection)
+{
+    Mesh2D m(8, 8);
+    auto p = hotspotPattern(m, 63);
+    EXPECT_EQ(maxLinkContention(p.flows, m), 63u);
+}
+
+TEST(Allocation, UniformContentionIsAllFlows)
+{
+    Mesh2D m(8, 8);
+    auto p = uniformPattern(m);
+    EXPECT_EQ(maxLinkContention(p.flows, m), 64u);
+}
+
+TEST(Allocation, EqualSharesValidate)
+{
+    Mesh2D m(8, 8);
+    auto p = hotspotPattern(m, 63);
+    setEqualSharesByMaxFlows(p.flows, 64);
+    for (const auto &f : p.flows)
+        EXPECT_DOUBLE_EQ(f.bwShare, 1.0 / 64);
+    EXPECT_TRUE(validateShares(p.flows, m));
+}
+
+TEST(Allocation, OversubscriptionDetected)
+{
+    Mesh2D m(8, 8);
+    auto p = hotspotPattern(m, 63);
+    setEqualShares(p.flows, 0.05); // 63 flows x 0.05 > 1 at ejection
+    EXPECT_FALSE(validateShares(p.flows, m));
+}
+
+TEST(Allocation, WeightedSharesProportionalToWeights)
+{
+    Mesh2D m(8, 8);
+    auto p = hotspotPattern(m, 63);
+    const auto quad = quadrantPartition(m);
+    p.groups.clear();
+    for (const auto &f : p.flows)
+        p.groups.push_back(quad[f.src]);
+    setGroupWeightedShares(p, m, {5.0, 4.0, 4.0, 2.0});
+    EXPECT_TRUE(validateShares(p.flows, m));
+    // Any two flows' shares relate as their group weights.
+    double w[4] = {5, 4, 4, 2};
+    for (std::size_t i = 0; i < p.flows.size(); ++i) {
+        for (std::size_t j = 0; j < p.flows.size(); ++j) {
+            EXPECT_NEAR(p.flows[i].bwShare * w[p.groups[j]],
+                        p.flows[j].bwShare * w[p.groups[i]], 1e-12);
+        }
+    }
+}
+
+TEST(Allocation, WeightedSharesSaturateBottleneck)
+{
+    Mesh2D m(8, 8);
+    auto p = hotspotPattern(m, 63);
+    const auto quad = quadrantPartition(m);
+    p.groups.clear();
+    for (const auto &f : p.flows)
+        p.groups.push_back(quad[f.src]);
+    setGroupWeightedShares(p, m, {1.0, 1.0, 1.0, 1.0});
+    double total = 0.0;
+    for (const auto &f : p.flows)
+        total += f.bwShare;
+    EXPECT_NEAR(total, 1.0, 1e-9); // ejection link fully reserved
+}
+
+TEST(Allocation, QuadrantPartitionShape)
+{
+    Mesh2D m(8, 8);
+    const auto q = quadrantPartition(m);
+    EXPECT_EQ(q[0], 0u);   // SW
+    EXPECT_EQ(q[7], 1u);   // SE
+    EXPECT_EQ(q[56], 2u);  // NW
+    EXPECT_EQ(q[63], 3u);  // NE
+    std::vector<int> count(4, 0);
+    for (auto g : q)
+        ++count[g];
+    for (int c : count)
+        EXPECT_EQ(c, 16);
+}
+
+TEST(Allocation, DiagonalPartitionShape)
+{
+    Mesh2D m(8, 8);
+    const auto d = diagonalPartition(m);
+    EXPECT_EQ(d[0], 0u);  // SW
+    EXPECT_EQ(d[63], 0u); // NE
+    EXPECT_EQ(d[7], 1u);  // SE
+    EXPECT_EQ(d[56], 1u); // NW
+    std::vector<int> count(2, 0);
+    for (auto g : d)
+        ++count[g];
+    EXPECT_EQ(count[0], 32);
+    EXPECT_EQ(count[1], 32);
+}
+
+TEST(DelayBound, LoftMatchesPaperNumbers)
+{
+    LoftParams p; // Table 1 defaults: F=256, WF=2
+    EXPECT_EQ(loftWorstCaseLatency(p, 1), 512u); // 512 cycles per hop
+    EXPECT_EQ(loftWorstCaseLatency(p, 15), 7680u);
+}
+
+TEST(DelayBound, GsfMatchesPaperNumbers)
+{
+    GsfParams p; // frame 2000, window 6
+    EXPECT_EQ(gsfWorstCaseLatency(p, 2), 24000u);
+}
+
+TEST(DelayBound, LoftTighterThanGsfForAllMeshPaths)
+{
+    LoftParams lp;
+    GsfParams gp;
+    Mesh2D m(8, 8);
+    // Longest path: 14 hops + ejection = 15 links.
+    const auto worst = loftWorstCaseLatency(lp, flowHops(m, 0, 63));
+    EXPECT_LT(worst, gsfWorstCaseLatency(gp));
+}
+
+TEST(DelayBound, FlowHopsIncludesEjection)
+{
+    Mesh2D m(8, 8);
+    EXPECT_EQ(flowHops(m, 0, 0), 1u);
+    EXPECT_EQ(flowHops(m, 0, 63), 15u);
+}
+
+TEST(HwCost, GsfStorageMatchesTable2)
+{
+    GsfParams p;
+    const auto s = gsfRouterStorage(p);
+    EXPECT_EQ(s.sourceQueue, 256000u);
+    EXPECT_EQ(s.virtualChannels, 15360u);
+    // Total within 1% of the paper's 271379 bits.
+    EXPECT_NEAR(static_cast<double>(s.total()), 271379.0, 2714.0);
+}
+
+TEST(HwCost, LoftStorageMatchesTable2)
+{
+    LoftParams p;
+    p.specBufferFlits = 16;
+    const auto s = loftRouterStorage(p);
+    EXPECT_EQ(s.inputBuffers, 139264u);
+    EXPECT_EQ(s.lookaheadNetwork, 1536u);
+    // Total within 5% of the paper's 184203 bits.
+    EXPECT_NEAR(static_cast<double>(s.total()), 184203.0, 9210.0);
+}
+
+TEST(HwCost, LoftUsesLessStorageThanGsf)
+{
+    GsfParams g;
+    LoftParams l;
+    l.specBufferFlits = 12;
+    const double ratio =
+        static_cast<double>(loftRouterStorage(l).total()) /
+        static_cast<double>(gsfRouterStorage(g).total());
+    // Paper: LOFT uses ~32% less storage than GSF.
+    EXPECT_LT(ratio, 0.75);
+    EXPECT_GT(ratio, 0.55);
+}
+
+TEST(HwCost, AreaPowerProxyCalibration)
+{
+    LoftParams l;
+    l.specBufferFlits = 12;
+    const auto cost =
+        estimateNocCost(loftRouterStorage(l).total(), 64);
+    EXPECT_NEAR(cost.areaMm2, 32.0, 3.2);
+    EXPECT_NEAR(cost.powerW, 50.0, 5.0);
+}
+
+TEST(HwCost, ProxyScalesWithNodes)
+{
+    const auto small = estimateNocCost(184203, 16);
+    const auto large = estimateNocCost(184203, 64);
+    EXPECT_NEAR(large.areaMm2 / small.areaMm2, 4.0, 1e-9);
+}
+
+TEST(GroupMetrics, SummarizesPerGroup)
+{
+    Mesh2D m(8, 8);
+    TrafficPattern p;
+    for (FlowId f = 0; f < 4; ++f) {
+        FlowSpec fs;
+        fs.id = f;
+        fs.src = f;
+        fs.dst = 63;
+        p.flows.push_back(fs);
+        p.groups.push_back(f / 2);
+    }
+    p.groupNames = {"a", "b"};
+    MetricsCollector mc(4);
+    mc.startMeasurement(0);
+    for (int i = 0; i < 10; ++i)
+        mc.onFlitEjected(0);
+    for (int i = 0; i < 20; ++i)
+        mc.onFlitEjected(1);
+    for (int i = 0; i < 40; ++i)
+        mc.onFlitEjected(2);
+    for (int i = 0; i < 40; ++i)
+        mc.onFlitEjected(3);
+    mc.stopMeasurement(100);
+    const auto groups = groupThroughputSummaries(mc, p);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].name, "a");
+    EXPECT_DOUBLE_EQ(groups[0].throughput.avg, 0.15);
+    EXPECT_DOUBLE_EQ(groups[0].throughput.min, 0.1);
+    EXPECT_DOUBLE_EQ(groups[1].throughput.avg, 0.4);
+    EXPECT_DOUBLE_EQ(groups[1].throughput.rsd, 0.0);
+}
+
+} // namespace
+} // namespace noc

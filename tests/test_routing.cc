@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for XY dimension-order routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/routing.hh"
+
+namespace noc
+{
+namespace
+{
+
+TEST(Routing, XFirstThenY)
+{
+    Mesh2D m(8, 8);
+    // From (1,1)=9 to (4,5)=44: east until x matches, then north.
+    EXPECT_EQ(xyRoute(m, 9, 44), Port::East);
+    EXPECT_EQ(xyRoute(m, 12, 44), Port::North);
+    EXPECT_EQ(xyRoute(m, 36, 44), Port::North);
+    EXPECT_EQ(xyRoute(m, 44, 44), Port::Local);
+}
+
+TEST(Routing, WestAndSouth)
+{
+    Mesh2D m(8, 8);
+    EXPECT_EQ(xyRoute(m, 63, 0), Port::West);
+    EXPECT_EQ(xyRoute(m, 56, 0), Port::South);
+}
+
+TEST(Routing, PathTerminatesWithEjection)
+{
+    Mesh2D m(8, 8);
+    const auto path = xyPath(m, 0, 63);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front().node, 0u);
+    EXPECT_EQ(path.back().node, 63u);
+    EXPECT_EQ(path.back().out, Port::Local);
+    // 7 east + 7 north + ejection.
+    EXPECT_EQ(path.size(), 15u);
+}
+
+TEST(Routing, PathLengthMatchesHopDistance)
+{
+    Mesh2D m(6, 5);
+    for (NodeId s = 0; s < m.numNodes(); ++s) {
+        for (NodeId d = 0; d < m.numNodes(); ++d) {
+            const auto path = xyPath(m, s, d);
+            EXPECT_EQ(path.size(), m.hopDistance(s, d) + 1);
+        }
+    }
+}
+
+TEST(Routing, PathIsConnected)
+{
+    Mesh2D m(8, 8);
+    const auto path = xyPath(m, 5, 58);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_EQ(m.neighbor(path[i].node, path[i].out),
+                  path[i + 1].node);
+    }
+}
+
+TEST(Routing, SelfPathIsJustEjection)
+{
+    Mesh2D m(4, 4);
+    const auto path = xyPath(m, 5, 5);
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(path[0].out, Port::Local);
+}
+
+TEST(Routing, NoYThenXMoves)
+{
+    // Once a route goes vertical it never turns horizontal again
+    // (deadlock freedom of dimension order).
+    Mesh2D m(8, 8);
+    for (NodeId s = 0; s < m.numNodes(); s += 3) {
+        for (NodeId d = 0; d < m.numNodes(); d += 5) {
+            bool vertical = false;
+            for (const auto &hop : xyPath(m, s, d)) {
+                const bool horizontal =
+                    hop.out == Port::East || hop.out == Port::West;
+                if (vertical) {
+                    EXPECT_FALSE(horizontal);
+                }
+                if (hop.out == Port::North || hop.out == Port::South)
+                    vertical = true;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the cycle-driven run loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+namespace noc
+{
+namespace
+{
+
+class Ticker : public Clocked
+{
+  public:
+    void tick(Cycle now) override
+    {
+        lastSeen = now;
+        ++ticks;
+    }
+    Cycle lastSeen = kNeverCycle;
+    std::uint64_t ticks = 0;
+};
+
+TEST(Simulator, RunAdvancesTime)
+{
+    Simulator sim;
+    Ticker t;
+    sim.add(&t);
+    sim.run(10);
+    EXPECT_EQ(sim.now(), 10u);
+    EXPECT_EQ(t.ticks, 10u);
+    EXPECT_EQ(t.lastSeen, 9u);
+}
+
+TEST(Simulator, ComponentsTickInRegistrationOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    class Probe : public Clocked
+    {
+      public:
+        Probe(std::vector<int> &o, int id) : order_(o), id_(id) {}
+        void tick(Cycle) override { order_.push_back(id_); }
+      private:
+        std::vector<int> &order_;
+        int id_;
+    };
+    Probe a(order, 1), b(order, 2), c(order, 3);
+    sim.add(&a);
+    sim.add(&b);
+    sim.add(&c);
+    sim.run(1);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilStopsOnPredicate)
+{
+    Simulator sim;
+    Ticker t;
+    sim.add(&t);
+    const bool ok = sim.runUntil([&] { return t.ticks >= 5; }, 100);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(sim.now(), 5u);
+}
+
+TEST(Simulator, RunUntilTimesOut)
+{
+    Simulator sim;
+    Ticker t;
+    sim.add(&t);
+    const bool ok = sim.runUntil([] { return false; }, 20);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(sim.now(), 20u);
+}
+
+TEST(Simulator, NullComponentPanics)
+{
+    Simulator sim;
+    EXPECT_DEATH(sim.add(nullptr), "null component");
+}
+
+} // namespace
+} // namespace noc

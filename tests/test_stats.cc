@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.hh"
+
+namespace noc
+{
+namespace
+{
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat rs;
+    rs.sample(7.0);
+    EXPECT_EQ(rs.count(), 1u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 7.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 7.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat rs;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        rs.sample(x);
+    EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(rs.stddev(), 2.0); // classic population example
+    EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i) * 10.0;
+        (i % 2 ? a : b).sample(x);
+        all.sample(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.sample(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10.0, 4); // [0,40) + overflow
+    h.sample(0.0);
+    h.sample(9.9);
+    h.sample(10.0);
+    h.sample(39.9);
+    h.sample(40.0);
+    h.sample(1000.0);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, PercentileMonotonic)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i));
+    EXPECT_LE(h.percentile(0.1), h.percentile(0.5));
+    EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(1.0, 4);
+    h.sample(2.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(Fairness, EmptyInput)
+{
+    const FairnessSummary s = summarizeFairness({});
+    EXPECT_DOUBLE_EQ(s.avg, 0.0);
+    EXPECT_DOUBLE_EQ(s.jain, 0.0);
+}
+
+TEST(Fairness, PerfectlyFair)
+{
+    const FairnessSummary s = summarizeFairness({2.0, 2.0, 2.0, 2.0});
+    EXPECT_DOUBLE_EQ(s.max, 2.0);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.avg, 2.0);
+    EXPECT_DOUBLE_EQ(s.rsd, 0.0);
+    EXPECT_DOUBLE_EQ(s.jain, 1.0);
+}
+
+TEST(Fairness, TotallyUnfair)
+{
+    const FairnessSummary s = summarizeFairness({4.0, 0.0, 0.0, 0.0});
+    EXPECT_DOUBLE_EQ(s.jain, 0.25); // Jain index = 1/n for one winner
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_DOUBLE_EQ(s.min, 0.0);
+}
+
+} // namespace
+} // namespace noc

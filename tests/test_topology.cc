@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the 2-D mesh topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hh"
+
+namespace noc
+{
+namespace
+{
+
+TEST(Topology, NodeNumberingMatchesPaper)
+{
+    // Node id = x + y * 8 on the 8x8 mesh (Section 5.1).
+    Mesh2D m(8, 8);
+    EXPECT_EQ(m.nodeAt(0, 0), 0u);
+    EXPECT_EQ(m.nodeAt(7, 0), 7u);
+    EXPECT_EQ(m.nodeAt(0, 6), 48u);
+    EXPECT_EQ(m.nodeAt(7, 7), 63u);
+    EXPECT_EQ(m.xOf(63), 7u);
+    EXPECT_EQ(m.yOf(63), 7u);
+}
+
+TEST(Topology, NeighborsAndEdges)
+{
+    Mesh2D m(4, 4);
+    EXPECT_FALSE(m.hasNeighbor(0, Port::West));
+    EXPECT_FALSE(m.hasNeighbor(0, Port::South));
+    EXPECT_TRUE(m.hasNeighbor(0, Port::East));
+    EXPECT_TRUE(m.hasNeighbor(0, Port::North));
+    EXPECT_EQ(m.neighbor(0, Port::East), 1u);
+    EXPECT_EQ(m.neighbor(0, Port::North), 4u);
+    EXPECT_EQ(m.neighbor(5, Port::South), 1u);
+    EXPECT_EQ(m.neighbor(5, Port::West), 4u);
+    EXPECT_FALSE(m.hasNeighbor(15, Port::East));
+    EXPECT_FALSE(m.hasNeighbor(15, Port::North));
+}
+
+TEST(Topology, NeighborIsSymmetric)
+{
+    Mesh2D m(5, 3);
+    for (NodeId n = 0; n < m.numNodes(); ++n) {
+        for (Port p : {Port::North, Port::East, Port::South, Port::West}) {
+            if (!m.hasNeighbor(n, p))
+                continue;
+            const NodeId nb = m.neighbor(n, p);
+            EXPECT_EQ(m.neighbor(nb, oppositePort(p)), n);
+        }
+    }
+}
+
+TEST(Topology, HopDistance)
+{
+    Mesh2D m(8, 8);
+    EXPECT_EQ(m.hopDistance(0, 0), 0u);
+    EXPECT_EQ(m.hopDistance(0, 7), 7u);
+    EXPECT_EQ(m.hopDistance(0, 63), 14u);
+    EXPECT_EQ(m.hopDistance(63, 0), 14u);
+    EXPECT_EQ(m.hopDistance(9, 18), 2u);
+}
+
+TEST(Topology, CenterNode)
+{
+    EXPECT_EQ(Mesh2D(8, 8).centerNode(), 36u);
+    EXPECT_EQ(Mesh2D(3, 3).centerNode(), 4u);
+}
+
+TEST(Topology, NearestNeighborAdjacent)
+{
+    Mesh2D m(8, 8);
+    for (NodeId n = 0; n < m.numNodes(); ++n)
+        EXPECT_EQ(m.hopDistance(n, m.nearestNeighbor(n)), 1u);
+}
+
+TEST(Topology, OppositePorts)
+{
+    EXPECT_EQ(oppositePort(Port::North), Port::South);
+    EXPECT_EQ(oppositePort(Port::East), Port::West);
+    EXPECT_EQ(oppositePort(Port::South), Port::North);
+    EXPECT_EQ(oppositePort(Port::West), Port::East);
+    EXPECT_EQ(oppositePort(Port::Local), Port::Local);
+}
+
+TEST(Topology, ZeroSizeRejected)
+{
+    EXPECT_EXIT(Mesh2D(0, 4), ::testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace
+} // namespace noc

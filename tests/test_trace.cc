@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for trace recording, file round trips, and cycle-accurate
+ * replay into a LOFT network.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/loft_network.hh"
+#include "sim/simulator.hh"
+#include "traffic/trace.hh"
+
+namespace noc
+{
+namespace
+{
+
+TraceEvent
+ev(Cycle cycle, NodeId src, NodeId dst, FlowId flow,
+   std::uint32_t size = 4)
+{
+    return TraceEvent{cycle, src, dst, flow, size};
+}
+
+TEST(Trace, AddAndTotals)
+{
+    Trace t;
+    t.add(ev(0, 0, 5, 0));
+    t.add(ev(3, 1, 6, 1, 2));
+    t.add(ev(3, 0, 5, 0));
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.totalFlits(), 10u);
+}
+
+TEST(Trace, RejectsOutOfOrder)
+{
+    Trace t;
+    t.add(ev(5, 0, 1, 0));
+    EXPECT_EXIT(t.add(ev(4, 0, 1, 0)), ::testing::ExitedWithCode(1),
+                "nondecreasing");
+}
+
+TEST(Trace, RejectsZeroSize)
+{
+    Trace t;
+    EXPECT_EXIT(t.add(ev(0, 0, 1, 0, 0)), ::testing::ExitedWithCode(1),
+                "zero-size");
+}
+
+TEST(Trace, FlowTableDerivation)
+{
+    Trace t;
+    t.add(ev(0, 0, 5, 0));
+    t.add(ev(1, 3, 9, 1));
+    t.add(ev(2, 0, 5, 0));
+    const auto flows = t.flowTable();
+    ASSERT_EQ(flows.size(), 2u);
+    EXPECT_EQ(flows[0].src, 0u);
+    EXPECT_EQ(flows[0].dst, 5u);
+    EXPECT_EQ(flows[1].src, 3u);
+}
+
+TEST(Trace, FlowTableRejectsInconsistentEndpoints)
+{
+    Trace t;
+    t.add(ev(0, 0, 5, 0));
+    t.add(ev(1, 1, 5, 0)); // same flow id, different source
+    EXPECT_EXIT((void)t.flowTable(), ::testing::ExitedWithCode(1),
+                "inconsistent");
+}
+
+TEST(Trace, FlowTableRejectsSparseIds)
+{
+    Trace t;
+    t.add(ev(0, 0, 5, 2));
+    EXPECT_EXIT((void)t.flowTable(), ::testing::ExitedWithCode(1),
+                "dense");
+}
+
+TEST(Trace, FileRoundTrip)
+{
+    Trace t;
+    t.add(ev(0, 0, 5, 0));
+    t.add(ev(7, 3, 9, 1, 6));
+    const std::string path = ::testing::TempDir() + "/loft_trace_test";
+    t.save(path);
+    const Trace back = Trace::load(path);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back.events()[1].cycle, 7u);
+    EXPECT_EQ(back.events()[1].sizeFlits, 6u);
+    EXPECT_EQ(back.events()[1].flow, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsMalformed)
+{
+    const std::string path = ::testing::TempDir() + "/loft_trace_bad";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        std::fputs("1 2 3\n", f); // too few fields
+        std::fclose(f);
+    }
+    EXPECT_EXIT((void)Trace::load(path), ::testing::ExitedWithCode(1),
+                "expected");
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, DeliversEverythingOnLoft)
+{
+    Mesh2D mesh(4, 4);
+    LoftParams p;
+    p.frameSizeFlits = 64;
+    p.centralBufferFlits = 64;
+    p.maxFlows = 16;
+    p.sourceQueueFlits = 0;
+
+    Trace t;
+    // Two interleaved flows, bursty.
+    for (Cycle c = 0; c < 200; c += 20) {
+        t.add(ev(c, 0, 15, 0));
+        t.add(ev(c + 3, 5, 10, 1));
+    }
+    auto flows = t.flowTable();
+    for (auto &f : flows)
+        f.bwShare = 0.25;
+
+    LoftNetwork net(mesh, p);
+    net.registerFlows(flows);
+    TraceReplayer replayer(net, t);
+    Simulator sim;
+    sim.add(&replayer);
+    net.attach(sim);
+    net.metrics().startMeasurement(0);
+
+    ASSERT_TRUE(sim.runUntil(
+        [&] {
+            return replayer.done() &&
+                   net.metrics().totalFlits() == t.totalFlits();
+        },
+        5000));
+    EXPECT_EQ(replayer.injected(), t.size());
+    EXPECT_EQ(net.metrics().totalPackets(), t.size());
+}
+
+TEST(TraceReplay, RetriesWhenNiFull)
+{
+    Mesh2D mesh(4, 4);
+    LoftParams p;
+    p.frameSizeFlits = 64;
+    p.centralBufferFlits = 64;
+    p.maxFlows = 16;
+    p.sourceQueueFlits = 8; // room for two packets only
+
+    Trace t;
+    for (int i = 0; i < 10; ++i)
+        t.add(ev(0, 0, 15, 0)); // all at cycle 0
+    auto flows = t.flowTable();
+    flows[0].bwShare = 0.5;
+
+    LoftNetwork net(mesh, p);
+    net.registerFlows(flows);
+    TraceReplayer replayer(net, t);
+    Simulator sim;
+    sim.add(&replayer);
+    net.attach(sim);
+    net.metrics().startMeasurement(0);
+
+    ASSERT_TRUE(sim.runUntil(
+        [&] { return net.metrics().totalPackets() == 10; }, 5000));
+    EXPECT_TRUE(replayer.done());
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * White-box tests of the wormhole substrate on a 2x1 slice: credit
+ * conservation, wormhole ordering, atomic VC reuse semantics, and
+ * priority arbitration effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hh"
+#include "router/wormhole_network.hh"
+#include "sim/simulator.hh"
+
+namespace noc
+{
+namespace
+{
+
+Packet
+makePacket(PacketId id, FlowId flow, NodeId src, NodeId dst,
+           std::uint32_t size, std::uint64_t frame = 0)
+{
+    Packet p;
+    p.id = id;
+    p.flow = flow;
+    p.src = src;
+    p.dst = dst;
+    p.sizeFlits = size;
+    (void)frame;
+    return p;
+}
+
+TEST(WormholeUnit, CreditsRestoredAfterDrain)
+{
+    Mesh2D mesh(2, 1);
+    WormholeParams params;
+    params.numVCs = 2;
+    params.vcDepthFlits = 4;
+    WormholeNetwork net(mesh, params, 0);
+    FlowSpec f;
+    f.id = 0;
+    f.src = 0;
+    f.dst = 1;
+    net.registerFlows({f});
+    Simulator sim;
+    net.attach(sim);
+    net.metrics().startMeasurement(0);
+    for (PacketId id = 1; id <= 5; ++id)
+        ASSERT_TRUE(net.inject(makePacket(id, 0, 0, 1, 4)));
+    ASSERT_TRUE(sim.runUntil(
+        [&] { return net.metrics().totalPackets() == 5; }, 1000));
+    sim.run(20); // let trailing credits land
+    // Every output VC of both routers is back to full credit.
+    for (NodeId n = 0; n < 2; ++n) {
+        for (Port p : {Port::East, Port::West, Port::Local}) {
+            if (p != Port::Local && !mesh.hasNeighbor(n, p))
+                continue;
+            for (std::uint32_t vc = 0; vc < params.numVCs; ++vc) {
+                EXPECT_EQ(net.fabric().router(n).outputCredits(p, vc),
+                          params.vcDepthFlits)
+                    << "node " << n << " port " << portName(p)
+                    << " vc " << vc;
+            }
+        }
+    }
+    EXPECT_EQ(net.flitsInFlight(), 0u);
+}
+
+TEST(WormholeUnit, FlitsOfOnePacketStayContiguousPerFlow)
+{
+    // Wormhole switching: a flow's packets are delivered in order
+    // (heads never overtake within the same flow and path).
+    Mesh2D mesh(4, 1);
+    WormholeParams params;
+    WormholeNetwork net(mesh, params, 0);
+    FlowSpec f;
+    f.id = 0;
+    f.src = 0;
+    f.dst = 3;
+    net.registerFlows({f});
+    Simulator sim;
+    net.attach(sim);
+    net.metrics().startMeasurement(0);
+    std::vector<PacketId> order;
+    net.fabric().sink(3).setOnEject([&](const Flit &flit, Cycle) {
+        if (flit.isTail())
+            order.push_back(flit.packet);
+    });
+    for (PacketId id = 1; id <= 8; ++id)
+        ASSERT_TRUE(net.inject(makePacket(id, 0, 0, 3, 4)));
+    ASSERT_TRUE(sim.runUntil(
+        [&] { return net.metrics().totalPackets() == 8; }, 2000));
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_LT(order[i - 1], order[i]);
+}
+
+TEST(WormholeUnit, AtomicReuseSlowsBackToBackPackets)
+{
+    // The GSF VC-reuse rule measurably serializes a single-VC stream.
+    auto run = [](bool atomic) {
+        Mesh2D mesh(2, 1);
+        WormholeParams params;
+        params.numVCs = 1;
+        params.vcDepthFlits = 5;
+        params.linkLatency = 4; // long credit round trip
+        params.atomicVcReuse = atomic;
+        WormholeNetwork net(mesh, params, 0);
+        FlowSpec f;
+        f.id = 0;
+        f.src = 0;
+        f.dst = 1;
+        net.registerFlows({f});
+        Simulator sim;
+        net.attach(sim);
+        net.metrics().startMeasurement(0);
+        for (PacketId id = 1; id <= 8; ++id)
+            EXPECT_TRUE(net.inject(makePacket(id, 0, 0, 1, 4)));
+        EXPECT_TRUE(sim.runUntil(
+            [&] { return net.metrics().totalPackets() == 8; }, 4000));
+        return sim.now();
+    };
+    const Cycle atomic = run(true);
+    const Cycle plain = run(false);
+    EXPECT_GT(atomic, plain + 20);
+}
+
+TEST(WormholeUnit, PriorityFunctionOrdersCompetingFlows)
+{
+    // Two flows merge at node 2's ejection; the priority function
+    // (lower frame value first) must dominate the round-robin default.
+    Mesh2D mesh(3, 1);
+    WormholeParams params;
+    params.numVCs = 2;
+    WormholeNetwork net(mesh, params, 0);
+    std::vector<FlowSpec> flows(2);
+    flows[0].id = 0;
+    flows[0].src = 0;
+    flows[0].dst = 2;
+    flows[1].id = 1;
+    flows[1].src = 1;
+    flows[1].dst = 2;
+    net.registerFlows(flows);
+    net.fabric().setPriorityFn(
+        [](const Flit &f) { return f.flow == 1 ? 0ull : 1ull; });
+    Simulator sim;
+    net.attach(sim);
+    net.metrics().startMeasurement(0);
+    std::vector<FlowId> order;
+    net.fabric().sink(2).setOnEject([&](const Flit &flit, Cycle) {
+        if (flit.isTail())
+            order.push_back(flit.flow);
+    });
+    for (PacketId id = 1; id <= 12; ++id)
+        ASSERT_TRUE(net.inject(
+            makePacket(id, id % 2, id % 2, 2, 4)));
+    ASSERT_TRUE(sim.runUntil(
+        [&] { return net.metrics().totalPackets() == 12; }, 2000));
+    // Flow 1 (higher priority) finishes its packets no later than an
+    // equal share would allow: its last packet is not the global last.
+    ASSERT_FALSE(order.empty());
+    EXPECT_EQ(order.back(), 0u);
+}
+
+} // namespace
+} // namespace noc
