@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_frames.dir/ablation_frames.cpp.o"
+  "CMakeFiles/ablation_frames.dir/ablation_frames.cpp.o.d"
+  "ablation_frames"
+  "ablation_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loft.dir/ablation_loft.cpp.o"
+  "CMakeFiles/ablation_loft.dir/ablation_loft.cpp.o.d"
+  "ablation_loft"
+  "ablation_loft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_bounds.dir/delay_bounds.cpp.o"
+  "CMakeFiles/delay_bounds.dir/delay_bounds.cpp.o.d"
+  "delay_bounds"
+  "delay_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

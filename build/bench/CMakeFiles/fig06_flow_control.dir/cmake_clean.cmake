@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_flow_control.dir/fig06_flow_control.cpp.o"
+  "CMakeFiles/fig06_flow_control.dir/fig06_flow_control.cpp.o.d"
+  "fig06_flow_control"
+  "fig06_flow_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_flow_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_flow_control.
+# This may be replaced when dependencies are built.

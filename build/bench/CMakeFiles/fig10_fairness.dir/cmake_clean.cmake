@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fairness.dir/fig10_fairness.cpp.o"
+  "CMakeFiles/fig10_fairness.dir/fig10_fairness.cpp.o.d"
+  "fig10_fairness"
+  "fig10_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_performance.dir/fig11_performance.cpp.o"
+  "CMakeFiles/fig11_performance.dir/fig11_performance.cpp.o.d"
+  "fig11_performance"
+  "fig11_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

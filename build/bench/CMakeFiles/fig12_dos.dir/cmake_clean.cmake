@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dos.dir/fig12_dos.cpp.o"
+  "CMakeFiles/fig12_dos.dir/fig12_dos.cpp.o.d"
+  "fig12_dos"
+  "fig12_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_pathological.dir/fig13_pathological.cpp.o"
+  "CMakeFiles/fig13_pathological.dir/fig13_pathological.cpp.o.d"
+  "fig13_pathological"
+  "fig13_pathological.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_pathological.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_demo.dir/admission_demo.cpp.o"
+  "CMakeFiles/admission_demo.dir/admission_demo.cpp.o.d"
+  "admission_demo"
+  "admission_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

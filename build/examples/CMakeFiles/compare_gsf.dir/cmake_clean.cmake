@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_gsf.dir/compare_gsf.cpp.o"
+  "CMakeFiles/compare_gsf.dir/compare_gsf.cpp.o.d"
+  "compare_gsf"
+  "compare_gsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_gsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dos_isolation.dir/dos_isolation.cpp.o"
+  "CMakeFiles/dos_isolation.dir/dos_isolation.cpp.o.d"
+  "dos_isolation"
+  "dos_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dos_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loft_sim_cli.dir/loft_sim.cpp.o"
+  "CMakeFiles/loft_sim_cli.dir/loft_sim.cpp.o.d"
+  "loft_sim"
+  "loft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loft_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathological_case.dir/pathological_case.cpp.o"
+  "CMakeFiles/pathological_case.dir/pathological_case.cpp.o.d"
+  "pathological_case"
+  "pathological_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathological_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_partitions.dir/qos_partitions.cpp.o"
+  "CMakeFiles/qos_partitions.dir/qos_partitions.cpp.o.d"
+  "qos_partitions"
+  "qos_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/data_router.cc" "src/core/CMakeFiles/loft_core.dir/data_router.cc.o" "gcc" "src/core/CMakeFiles/loft_core.dir/data_router.cc.o.d"
+  "/root/repo/src/core/loft_network.cc" "src/core/CMakeFiles/loft_core.dir/loft_network.cc.o" "gcc" "src/core/CMakeFiles/loft_core.dir/loft_network.cc.o.d"
+  "/root/repo/src/core/loft_sink.cc" "src/core/CMakeFiles/loft_core.dir/loft_sink.cc.o" "gcc" "src/core/CMakeFiles/loft_core.dir/loft_sink.cc.o.d"
+  "/root/repo/src/core/loft_source.cc" "src/core/CMakeFiles/loft_core.dir/loft_source.cc.o" "gcc" "src/core/CMakeFiles/loft_core.dir/loft_source.cc.o.d"
+  "/root/repo/src/core/lookahead_router.cc" "src/core/CMakeFiles/loft_core.dir/lookahead_router.cc.o" "gcc" "src/core/CMakeFiles/loft_core.dir/lookahead_router.cc.o.d"
+  "/root/repo/src/core/output_scheduler.cc" "src/core/CMakeFiles/loft_core.dir/output_scheduler.cc.o" "gcc" "src/core/CMakeFiles/loft_core.dir/output_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/router/CMakeFiles/loft_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/loft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/loft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

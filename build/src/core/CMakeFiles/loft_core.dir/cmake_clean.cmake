@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loft_core.dir/data_router.cc.o"
+  "CMakeFiles/loft_core.dir/data_router.cc.o.d"
+  "CMakeFiles/loft_core.dir/loft_network.cc.o"
+  "CMakeFiles/loft_core.dir/loft_network.cc.o.d"
+  "CMakeFiles/loft_core.dir/loft_sink.cc.o"
+  "CMakeFiles/loft_core.dir/loft_sink.cc.o.d"
+  "CMakeFiles/loft_core.dir/loft_source.cc.o"
+  "CMakeFiles/loft_core.dir/loft_source.cc.o.d"
+  "CMakeFiles/loft_core.dir/lookahead_router.cc.o"
+  "CMakeFiles/loft_core.dir/lookahead_router.cc.o.d"
+  "CMakeFiles/loft_core.dir/output_scheduler.cc.o"
+  "CMakeFiles/loft_core.dir/output_scheduler.cc.o.d"
+  "libloft_core.a"
+  "libloft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

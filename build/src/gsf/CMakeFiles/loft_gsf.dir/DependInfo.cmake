@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsf/gsf_barrier.cc" "src/gsf/CMakeFiles/loft_gsf.dir/gsf_barrier.cc.o" "gcc" "src/gsf/CMakeFiles/loft_gsf.dir/gsf_barrier.cc.o.d"
+  "/root/repo/src/gsf/gsf_network.cc" "src/gsf/CMakeFiles/loft_gsf.dir/gsf_network.cc.o" "gcc" "src/gsf/CMakeFiles/loft_gsf.dir/gsf_network.cc.o.d"
+  "/root/repo/src/gsf/gsf_source.cc" "src/gsf/CMakeFiles/loft_gsf.dir/gsf_source.cc.o" "gcc" "src/gsf/CMakeFiles/loft_gsf.dir/gsf_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/router/CMakeFiles/loft_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/loft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/loft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loft_gsf.dir/gsf_barrier.cc.o"
+  "CMakeFiles/loft_gsf.dir/gsf_barrier.cc.o.d"
+  "CMakeFiles/loft_gsf.dir/gsf_network.cc.o"
+  "CMakeFiles/loft_gsf.dir/gsf_network.cc.o.d"
+  "CMakeFiles/loft_gsf.dir/gsf_source.cc.o"
+  "CMakeFiles/loft_gsf.dir/gsf_source.cc.o.d"
+  "libloft_gsf.a"
+  "libloft_gsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loft_gsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

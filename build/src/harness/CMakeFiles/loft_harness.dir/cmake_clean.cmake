@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loft_harness.dir/experiment.cc.o"
+  "CMakeFiles/loft_harness.dir/experiment.cc.o.d"
+  "libloft_harness.a"
+  "libloft_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loft_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

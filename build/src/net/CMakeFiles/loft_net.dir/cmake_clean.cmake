@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loft_net.dir/metrics.cc.o"
+  "CMakeFiles/loft_net.dir/metrics.cc.o.d"
+  "CMakeFiles/loft_net.dir/routing.cc.o"
+  "CMakeFiles/loft_net.dir/routing.cc.o.d"
+  "CMakeFiles/loft_net.dir/topology.cc.o"
+  "CMakeFiles/loft_net.dir/topology.cc.o.d"
+  "libloft_net.a"
+  "libloft_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loft_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

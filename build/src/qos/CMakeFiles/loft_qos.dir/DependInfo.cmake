@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qos/admission.cc" "src/qos/CMakeFiles/loft_qos.dir/admission.cc.o" "gcc" "src/qos/CMakeFiles/loft_qos.dir/admission.cc.o.d"
+  "/root/repo/src/qos/allocation.cc" "src/qos/CMakeFiles/loft_qos.dir/allocation.cc.o" "gcc" "src/qos/CMakeFiles/loft_qos.dir/allocation.cc.o.d"
+  "/root/repo/src/qos/delay_bound.cc" "src/qos/CMakeFiles/loft_qos.dir/delay_bound.cc.o" "gcc" "src/qos/CMakeFiles/loft_qos.dir/delay_bound.cc.o.d"
+  "/root/repo/src/qos/group_metrics.cc" "src/qos/CMakeFiles/loft_qos.dir/group_metrics.cc.o" "gcc" "src/qos/CMakeFiles/loft_qos.dir/group_metrics.cc.o.d"
+  "/root/repo/src/qos/hw_cost.cc" "src/qos/CMakeFiles/loft_qos.dir/hw_cost.cc.o" "gcc" "src/qos/CMakeFiles/loft_qos.dir/hw_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/loft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsf/CMakeFiles/loft_gsf.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/loft_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/loft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/loft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/loft_router.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loft_qos.dir/admission.cc.o"
+  "CMakeFiles/loft_qos.dir/admission.cc.o.d"
+  "CMakeFiles/loft_qos.dir/allocation.cc.o"
+  "CMakeFiles/loft_qos.dir/allocation.cc.o.d"
+  "CMakeFiles/loft_qos.dir/delay_bound.cc.o"
+  "CMakeFiles/loft_qos.dir/delay_bound.cc.o.d"
+  "CMakeFiles/loft_qos.dir/group_metrics.cc.o"
+  "CMakeFiles/loft_qos.dir/group_metrics.cc.o.d"
+  "CMakeFiles/loft_qos.dir/hw_cost.cc.o"
+  "CMakeFiles/loft_qos.dir/hw_cost.cc.o.d"
+  "libloft_qos.a"
+  "libloft_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loft_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/router/arbiter.cc" "src/router/CMakeFiles/loft_router.dir/arbiter.cc.o" "gcc" "src/router/CMakeFiles/loft_router.dir/arbiter.cc.o.d"
+  "/root/repo/src/router/mesh_fabric.cc" "src/router/CMakeFiles/loft_router.dir/mesh_fabric.cc.o" "gcc" "src/router/CMakeFiles/loft_router.dir/mesh_fabric.cc.o.d"
+  "/root/repo/src/router/sink_unit.cc" "src/router/CMakeFiles/loft_router.dir/sink_unit.cc.o" "gcc" "src/router/CMakeFiles/loft_router.dir/sink_unit.cc.o.d"
+  "/root/repo/src/router/source_unit.cc" "src/router/CMakeFiles/loft_router.dir/source_unit.cc.o" "gcc" "src/router/CMakeFiles/loft_router.dir/source_unit.cc.o.d"
+  "/root/repo/src/router/wormhole_network.cc" "src/router/CMakeFiles/loft_router.dir/wormhole_network.cc.o" "gcc" "src/router/CMakeFiles/loft_router.dir/wormhole_network.cc.o.d"
+  "/root/repo/src/router/wormhole_router.cc" "src/router/CMakeFiles/loft_router.dir/wormhole_router.cc.o" "gcc" "src/router/CMakeFiles/loft_router.dir/wormhole_router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/loft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/loft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

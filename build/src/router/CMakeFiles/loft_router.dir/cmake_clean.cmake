@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loft_router.dir/arbiter.cc.o"
+  "CMakeFiles/loft_router.dir/arbiter.cc.o.d"
+  "CMakeFiles/loft_router.dir/mesh_fabric.cc.o"
+  "CMakeFiles/loft_router.dir/mesh_fabric.cc.o.d"
+  "CMakeFiles/loft_router.dir/sink_unit.cc.o"
+  "CMakeFiles/loft_router.dir/sink_unit.cc.o.d"
+  "CMakeFiles/loft_router.dir/source_unit.cc.o"
+  "CMakeFiles/loft_router.dir/source_unit.cc.o.d"
+  "CMakeFiles/loft_router.dir/wormhole_network.cc.o"
+  "CMakeFiles/loft_router.dir/wormhole_network.cc.o.d"
+  "CMakeFiles/loft_router.dir/wormhole_router.cc.o"
+  "CMakeFiles/loft_router.dir/wormhole_router.cc.o.d"
+  "libloft_router.a"
+  "libloft_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loft_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

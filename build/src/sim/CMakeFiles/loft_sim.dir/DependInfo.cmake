@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/loft_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/loft_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/debug.cc" "src/sim/CMakeFiles/loft_sim.dir/debug.cc.o" "gcc" "src/sim/CMakeFiles/loft_sim.dir/debug.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/sim/CMakeFiles/loft_sim.dir/logging.cc.o" "gcc" "src/sim/CMakeFiles/loft_sim.dir/logging.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/loft_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/loft_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/sim/CMakeFiles/loft_sim.dir/rng.cc.o" "gcc" "src/sim/CMakeFiles/loft_sim.dir/rng.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/loft_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/loft_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/loft_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/loft_sim.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loft_sim.dir/config.cc.o"
+  "CMakeFiles/loft_sim.dir/config.cc.o.d"
+  "CMakeFiles/loft_sim.dir/debug.cc.o"
+  "CMakeFiles/loft_sim.dir/debug.cc.o.d"
+  "CMakeFiles/loft_sim.dir/logging.cc.o"
+  "CMakeFiles/loft_sim.dir/logging.cc.o.d"
+  "CMakeFiles/loft_sim.dir/report.cc.o"
+  "CMakeFiles/loft_sim.dir/report.cc.o.d"
+  "CMakeFiles/loft_sim.dir/rng.cc.o"
+  "CMakeFiles/loft_sim.dir/rng.cc.o.d"
+  "CMakeFiles/loft_sim.dir/simulator.cc.o"
+  "CMakeFiles/loft_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/loft_sim.dir/stats.cc.o"
+  "CMakeFiles/loft_sim.dir/stats.cc.o.d"
+  "libloft_sim.a"
+  "libloft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libloft_sim.a"
+)

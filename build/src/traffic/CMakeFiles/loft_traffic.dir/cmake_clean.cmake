@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loft_traffic.dir/generator.cc.o"
+  "CMakeFiles/loft_traffic.dir/generator.cc.o.d"
+  "CMakeFiles/loft_traffic.dir/pattern.cc.o"
+  "CMakeFiles/loft_traffic.dir/pattern.cc.o.d"
+  "CMakeFiles/loft_traffic.dir/trace.cc.o"
+  "CMakeFiles/loft_traffic.dir/trace.cc.o.d"
+  "libloft_traffic.a"
+  "libloft_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loft_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_admission.dir/test_admission.cc.o"
+  "CMakeFiles/test_admission.dir/test_admission.cc.o.d"
+  "test_admission"
+  "test_admission.pdb"
+  "test_admission[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

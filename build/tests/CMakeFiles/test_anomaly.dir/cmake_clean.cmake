@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anomaly.dir/test_anomaly.cc.o"
+  "CMakeFiles/test_anomaly.dir/test_anomaly.cc.o.d"
+  "test_anomaly"
+  "test_anomaly.pdb"
+  "test_anomaly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arbiter.dir/test_arbiter.cc.o"
+  "CMakeFiles/test_arbiter.dir/test_arbiter.cc.o.d"
+  "test_arbiter"
+  "test_arbiter.pdb"
+  "test_arbiter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

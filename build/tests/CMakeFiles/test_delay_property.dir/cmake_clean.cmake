@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delay_property.dir/test_delay_property.cc.o"
+  "CMakeFiles/test_delay_property.dir/test_delay_property.cc.o.d"
+  "test_delay_property"
+  "test_delay_property.pdb"
+  "test_delay_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delay_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

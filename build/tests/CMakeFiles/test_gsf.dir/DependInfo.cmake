@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gsf.cc" "tests/CMakeFiles/test_gsf.dir/test_gsf.cc.o" "gcc" "tests/CMakeFiles/test_gsf.dir/test_gsf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/loft_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/loft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsf/CMakeFiles/loft_gsf.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/loft_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/loft_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/loft_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/loft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/loft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

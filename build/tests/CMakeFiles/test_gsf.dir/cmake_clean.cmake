@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gsf.dir/test_gsf.cc.o"
+  "CMakeFiles/test_gsf.dir/test_gsf.cc.o.d"
+  "test_gsf"
+  "test_gsf.pdb"
+  "test_gsf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

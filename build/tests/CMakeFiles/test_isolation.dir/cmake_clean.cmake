@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isolation.dir/test_isolation.cc.o"
+  "CMakeFiles/test_isolation.dir/test_isolation.cc.o.d"
+  "test_isolation"
+  "test_isolation.pdb"
+  "test_isolation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loft_network.dir/test_loft_network.cc.o"
+  "CMakeFiles/test_loft_network.dir/test_loft_network.cc.o.d"
+  "test_loft_network"
+  "test_loft_network.pdb"
+  "test_loft_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loft_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loft_units.dir/test_loft_units.cc.o"
+  "CMakeFiles/test_loft_units.dir/test_loft_units.cc.o.d"
+  "test_loft_units"
+  "test_loft_units.pdb"
+  "test_loft_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loft_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_results.dir/test_paper_results.cc.o"
+  "CMakeFiles/test_paper_results.dir/test_paper_results.cc.o.d"
+  "test_paper_results"
+  "test_paper_results.pdb"
+  "test_paper_results[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seed_sweep.dir/test_seed_sweep.cc.o"
+  "CMakeFiles/test_seed_sweep.dir/test_seed_sweep.cc.o.d"
+  "test_seed_sweep"
+  "test_seed_sweep.pdb"
+  "test_seed_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seed_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wormhole.dir/test_wormhole.cc.o"
+  "CMakeFiles/test_wormhole.dir/test_wormhole.cc.o.d"
+  "test_wormhole"
+  "test_wormhole.pdb"
+  "test_wormhole[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wormhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wormhole_units.dir/test_wormhole_units.cc.o"
+  "CMakeFiles/test_wormhole_units.dir/test_wormhole_units.cc.o.d"
+  "test_wormhole_units"
+  "test_wormhole_units.pdb"
+  "test_wormhole_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wormhole_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
