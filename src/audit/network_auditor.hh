@@ -1,0 +1,203 @@
+/**
+ * @file
+ * NetworkAuditor: a passive, cycle-driven invariant checker that plugs
+ * into any Network through the NetObserver hooks.
+ *
+ * It maintains:
+ *  - a flit-conservation ledger keyed (flow, flitNo): every flit must
+ *    be sourced once, alternate wire/buffer states hop by hop, and be
+ *    ejected exactly once at its destination;
+ *  - the set of look-ahead reservations per (node, flow, quantum), so
+ *    every non-speculative data arrival can be matched against a prior
+ *    look-ahead admission (speculative forwards are exempt by design);
+ *  - a shadow copy of every LSF output scheduler's reservation table
+ *    (bookings, per-frame/flow grant counts, frame totals) replayed
+ *    from grant/clear/reset events;
+ *  - a deadlock/starvation watchdog over flit movement.
+ *
+ * Cheap checks run inline on each event. Once per deep-audit period
+ * (one data frame by default) the auditor cross-checks shadow state
+ * against the live schedulers — forEachBooking() contents, window
+ * virtual credits — so corrupted component state is reported within
+ * one frame window of the corruption becoming visible.
+ *
+ * The auditor only observes: it never mutates network state, so an
+ * audited run is cycle-for-cycle identical to an unaudited one.
+ */
+
+#ifndef NOC_AUDIT_NETWORK_AUDITOR_HH
+#define NOC_AUDIT_NETWORK_AUDITOR_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "audit/audit.hh"
+#include "core/output_scheduler.hh"
+#include "net/flit.hh"
+#include "net/instrument.hh"
+#include "net/network.hh"
+#include "sim/clocked.hh"
+#include "sim/simulator.hh"
+
+namespace noc
+{
+
+class NetworkAuditor : public NetObserver, public Clocked
+{
+  public:
+    /** Construct and install as @p net's observer. */
+    explicit NetworkAuditor(Network &net, AuditConfig config = {});
+
+    /** Register with the simulator driving @p net. */
+    void attach(Simulator &sim) { sim.add(this); }
+
+    /// @name Results
+    /// @{
+
+    /** All violations, including soft (watchdog) ones. */
+    std::uint64_t violationCount() const;
+    /** Violations excluding the Watchdog kind. */
+    std::uint64_t hardViolationCount() const;
+    std::uint64_t countOf(AuditKind kind) const;
+    const std::vector<AuditViolation> &violations() const
+    {
+        return recorded_;
+    }
+    /** Multi-line text summary for logs / failure messages. */
+    std::string report() const;
+
+    /**
+     * End-of-run check: with the network drained, the ledger must be
+     * empty (every sourced flit ejected). Call after the simulation
+     * has been run to quiescence.
+     */
+    void finalCheck(Cycle now);
+
+    /// @}
+    /// @name Delivery log (differential-testing support)
+    /// @{
+
+    /** One completed packet, in global completion order. */
+    struct Delivery
+    {
+        FlowId flow;
+        PacketId packet;
+        NodeId node;
+        Cycle cycle;
+    };
+
+    /** Data flits ejected so far, per flow. */
+    const std::map<FlowId, std::uint64_t> &deliveredFlits() const
+    {
+        return deliveredFlits_;
+    }
+    /** Packet completions in the order the sinks reported them. */
+    const std::vector<Delivery> &deliveries() const { return deliveries_; }
+    std::uint64_t packetsAccepted() const { return packetsAccepted_; }
+    std::uint64_t flitsInLedger() const { return ledger_.size(); }
+
+    /// @}
+
+    // Clocked
+    void tick(Cycle now) override;
+
+    // NetObserver
+    void onPacketAccepted(NodeId node, const Packet &pkt,
+                          Cycle now) override;
+    void onFlitSourced(NodeId node, const Flit &flit, bool spec,
+                       Cycle now) override;
+    void onFlitArrived(NodeId node, Port in, const Flit &flit, bool spec,
+                       Cycle now) override;
+    void onFlitForwarded(NodeId node, Port out, const Flit &flit,
+                         bool spec, Cycle now) override;
+    void onFlitEjected(NodeId node, const Flit &flit, Cycle now) override;
+    void onPacketDelivered(NodeId node, FlowId flow, PacketId pkt,
+                           Cycle now) override;
+    void onLookaheadAdmitted(NodeId node, Port in, const LookaheadFlit &la,
+                             Cycle now) override;
+    void onNiQuantumScheduled(NodeId node, const LookaheadFlit &la,
+                              Slot granted, Cycle now) override;
+    void onSchedFlowRegistered(const OutputScheduler &sched, FlowId flow,
+                               std::uint32_t quanta) override;
+    void onSchedGrant(const OutputScheduler &sched, FlowId flow,
+                      std::uint64_t quantum_no, Slot abs_slot,
+                      std::uint64_t frame, Cycle now) override;
+    void onSchedBookingCleared(const OutputScheduler &sched,
+                               Slot abs_slot) override;
+    void onSchedCreditNegative(const OutputScheduler &sched,
+                               Cycle now) override;
+    void onSchedLocalReset(const OutputScheduler &sched,
+                           Cycle now) override;
+
+  private:
+    /** Ledger state of one live flit. */
+    struct FlitState
+    {
+        NodeId at = kInvalidNode; ///< last node (source or buffer)
+        bool inFlight = false;    ///< on a wire (vs buffered at `at`)
+        bool spec = false;
+        Cycle since = 0;
+    };
+
+    /** A look-ahead reservation the data plane may redeem. */
+    struct ExpectedQuantum
+    {
+        std::uint32_t flits = 0;
+        Cycle admitted = 0;
+    };
+
+    /** Shadow of one output scheduler, replayed from events. */
+    struct SchedShadow
+    {
+        const OutputScheduler *sched = nullptr;
+        std::map<FlowId, std::uint32_t> reservations; ///< r (quanta/frame)
+        std::map<Slot, SlotBooking> bookings;         ///< abs slot keyed
+        /** Grants per (injection frame, flow); bounded by r. */
+        std::map<std::pair<std::uint64_t, FlowId>, std::uint32_t>
+            frameGrants;
+        /** Grants per injection frame; bounded by frameSlots. */
+        std::map<std::uint64_t, std::uint32_t> frameTotals;
+    };
+
+    using QuantumKey = std::tuple<NodeId, FlowId, std::uint64_t>;
+    using LedgerKey = std::pair<FlowId, std::uint64_t>;
+
+    void record(AuditKind kind, Cycle now, std::string detail);
+    SchedShadow &shadowOf(const OutputScheduler &sched);
+    Cycle deepAuditPeriod() const;
+    void deepAudit(Cycle now);
+    void auditScheduler(SchedShadow &sh, Cycle now);
+    void matureSuspicions(Cycle now);
+    void runWatchdog(Cycle now);
+    void noteMovement(FlowId flow, Cycle now);
+
+    Network *net_;
+    AuditConfig cfg_;
+
+    std::map<LedgerKey, FlitState> ledger_;
+    std::map<QuantumKey, ExpectedQuantum> expected_;
+    /** Non-spec arrivals awaiting a (slightly late) reservation. */
+    std::map<QuantumKey, Cycle> suspicions_;
+    std::map<const OutputScheduler *, SchedShadow> shadows_;
+
+    std::array<std::uint64_t, kNumAuditKinds> counts_{};
+    std::vector<AuditViolation> recorded_;
+
+    std::map<FlowId, std::uint64_t> deliveredFlits_;
+    std::vector<Delivery> deliveries_;
+    std::uint64_t packetsAccepted_ = 0;
+
+    bool loftProtocol_ = false; ///< look-ahead events seen
+    Cycle frameCycles_ = 0;     ///< cycles per data frame (from params)
+    Cycle nextDeepAudit_ = 0;
+    Cycle lastMovement_ = 0;
+    std::map<FlowId, Cycle> flowLastMovement_;
+};
+
+} // namespace noc
+
+#endif // NOC_AUDIT_NETWORK_AUDITOR_HH

@@ -21,6 +21,14 @@ LoftDataRouter::LoftDataRouter(NodeId id, const Mesh2D &mesh,
 }
 
 void
+LoftDataRouter::setObserver(NetObserver *obs)
+{
+    observer_ = obs;
+    for (auto &out : outputs_)
+        out.sched->setObserver(obs);
+}
+
+void
 LoftDataRouter::connectInput(Port p, Channel<DataWireFlit> *data_in,
                              Channel<ActualCreditMsg> *actual_credit_out,
                              Channel<VirtualCreditMsg> *virtual_credit_out)
@@ -82,6 +90,7 @@ LoftDataRouter::admitLookahead(Port in, const LookaheadFlit &la,
         ip.unclaimed.erase(un);
     }
     ip.records.emplace(key, std::move(rec));
+    NOC_OBSERVE(observer_, onLookaheadAdmitted(id_, in, la, now));
     return true;
 }
 
@@ -146,6 +155,8 @@ LoftDataRouter::schedulePending(Port outp, Cycle now,
         rec.la.departureSlot = granted;
         onward = rec.la;
         terminal = outp == Port::Local;
+        NOC_OBSERVE(observer_,
+                    onQuantumScheduled(id_, outp, rec.la, granted, now));
         pend.erase(it);
         return true;
     }
@@ -194,6 +205,9 @@ LoftDataRouter::receiveData(Cycle now)
                           "(scheduling anomaly)", id_);
                 ++ip.nonspecUsed;
             }
+            NOC_OBSERVE(observer_,
+                        onFlitArrived(id_, static_cast<Port>(p), flit,
+                                      wf->spec, now));
             const std::uint64_t key =
                 recordKey(flit.flow, flit.quantum);
             auto it = ip.records.find(key);
@@ -278,6 +292,9 @@ LoftDataRouter::forwardFlit(std::size_t in, QuantumRecord &rec,
     ++rec.forwardedFlits;
     op.lastForward = now;
     ++op.flitsForwarded;
+    NOC_OBSERVE(observer_,
+                onFlitForwarded(id_, static_cast<Port>(out), bf.flit,
+                                to_spec, now));
     DPRINTF(Data, now, "router %u: flow %u flit %llu out %s (%s)",
             id_, bf.flit.flow,
             static_cast<unsigned long long>(bf.flit.flitNo),
@@ -342,10 +359,17 @@ LoftDataRouter::switchOutputs(Cycle now)
                 // is only possible when the anomaly guard is disabled,
                 // Section 4.2).
                 ++missedSlots_;
+                NOC_OBSERVE(observer_,
+                            onMissedSlot(id_, static_cast<Port>(out),
+                                         now));
                 continue;
             }
-            if (due_dataless)
+            if (due_dataless) {
                 ++missedSlots_;
+                NOC_OBSERVE(observer_,
+                            onMissedSlot(id_, static_cast<Port>(out),
+                                         now));
+            }
         }
 
         // Speculative switching: forward a ready flit ahead of its

@@ -61,6 +61,9 @@ class LoftDataRouter : public Clocked
         return *outputs_[portIndex(p)].sched;
     }
 
+    /** Attach an event observer to the router and its schedulers. */
+    void setObserver(NetObserver *obs);
+
     /**
      * Step 1 of the FRS procedure: a look-ahead flit arrived on input
      * port @p in; record the data flits it leads in the input
@@ -219,6 +222,7 @@ class LoftDataRouter : public Clocked
     std::uint64_t specForwards_ = 0;
     std::uint64_t missedSlots_ = 0;
     std::uint64_t localResets_ = 0;
+    NetObserver *observer_ = nullptr;
 };
 
 } // namespace noc

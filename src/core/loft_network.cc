@@ -142,6 +142,17 @@ LoftNetwork::attach(Simulator &sim)
         sim.add(s.get());
 }
 
+void
+LoftNetwork::setObserver(NetObserver *obs)
+{
+    for (auto &r : dataRouters_)
+        r->setObserver(obs);
+    for (auto &s : sources_)
+        s->setObserver(obs);
+    for (auto &s : sinks_)
+        s->setObserver(obs);
+}
+
 std::uint64_t
 LoftNetwork::flitsInFlight() const
 {

@@ -33,6 +33,7 @@ class LoftNetwork : public Network
     MetricsCollector &metrics() override { return metrics_; }
     const MetricsCollector &metrics() const override { return metrics_; }
     std::uint64_t flitsInFlight() const override;
+    void setObserver(NetObserver *obs) override;
 
     const LoftParams &params() const { return params_; }
     LoftDataRouter &dataRouter(NodeId n) { return *dataRouters_.at(n); }

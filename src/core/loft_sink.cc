@@ -37,6 +37,7 @@ LoftSink::tick(Cycle now)
     ++flitsEjected_;
     if (metrics_)
         metrics_->onFlitEjected(flit.flow);
+    NOC_OBSERVE(observer_, onFlitEjected(node_, flit, now));
 
     auto [it, inserted] = pending_.try_emplace(flit.packet, 0u);
     (void)inserted;
@@ -44,6 +45,9 @@ LoftSink::tick(Cycle now)
     if (it->second == flit.pktSize) {
         if (metrics_)
             metrics_->onPacketEjected(flit.flow, flit.createdAt, now);
+        NOC_OBSERVE(observer_,
+                    onPacketDelivered(node_, flit.flow, flit.packet,
+                                      now));
         pending_.erase(it);
     }
 }

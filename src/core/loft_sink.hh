@@ -14,6 +14,7 @@
 #include "core/loft_params.hh"
 #include "core/messages.hh"
 #include "net/channel.hh"
+#include "net/instrument.hh"
 #include "net/metrics.hh"
 #include "sim/clocked.hh"
 
@@ -33,6 +34,9 @@ class LoftSink : public Clocked
 
     std::uint64_t flitsEjected() const { return flitsEjected_; }
 
+    /** Attach an event observer. */
+    void setObserver(NetObserver *obs) { observer_ = obs; }
+
   private:
     NodeId node_;
     LoftParams params_;
@@ -42,6 +46,7 @@ class LoftSink : public Clocked
     MetricsCollector *metrics_;
     std::unordered_map<PacketId, std::uint32_t> pending_;
     std::uint64_t flitsEjected_ = 0;
+    NetObserver *observer_ = nullptr;
 };
 
 } // namespace noc

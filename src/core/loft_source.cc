@@ -59,6 +59,7 @@ LoftSourceUnit::enqueue(const Packet &pkt)
         panic("LoftSourceUnit %u: packet from node %u", node_, pkt.src);
     queue_.push_back(pkt);
     queuedFlits_ += pkt.sizeFlits;
+    NOC_OBSERVE(observer_, onPacketAccepted(node_, pkt, pkt.enqueuedAt));
     return true;
 }
 
@@ -173,6 +174,8 @@ LoftSourceUnit::emitLookahead(Cycle now)
     laOut_->send(now, LaWireFlit{pending_->la,
                  static_cast<std::uint32_t>(vc)});
     --laCredits_[vc];
+    NOC_OBSERVE(observer_,
+                onNiQuantumScheduled(node_, pending_->la, granted, now));
 
     OutboundQuantum ob;
     ob.flow = pending_->la.flow;
@@ -218,6 +221,7 @@ LoftSourceUnit::forwardData(Cycle now)
     }
     const Flit flit = cand->flits[cand->sent];
     dataOut_->send(now, DataWireFlit{flit, to_spec});
+    NOC_OBSERVE(observer_, onFlitSourced(node_, flit, to_spec, now));
     if (to_spec)
         --dnSpecFree_;
     else

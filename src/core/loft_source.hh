@@ -47,6 +47,14 @@ class LoftSourceUnit : public Clocked
     /** Register a flow originating here (R in flits per frame). */
     void registerFlow(FlowId flow, std::uint32_t reservation_flits);
 
+    /** Attach an event observer to the NI and its scheduler. */
+    void
+    setObserver(NetObserver *obs)
+    {
+        observer_ = obs;
+        sched_.setObserver(obs);
+    }
+
     bool canAccept(const Packet &pkt) const;
     bool enqueue(const Packet &pkt);
 
@@ -135,6 +143,7 @@ class LoftSourceUnit : public Clocked
     std::uint64_t rbNonspec_ = 0;
     Cycle lastForward_ = 0;
     std::size_t queueCapacityFlits_;
+    NetObserver *observer_ = nullptr;
 };
 
 } // namespace noc

@@ -40,6 +40,7 @@ OutputScheduler::registerFlow(FlowId flow, std::uint32_t reservation_flits)
     st.c = r;
     st.injFrame = headFrame_;
     flows_[flow] = st;
+    NOC_OBSERVE(observer_, onSchedFlowRegistered(*this, flow, r));
 }
 
 std::uint64_t
@@ -206,6 +207,9 @@ OutputScheduler::trySchedule(FlowId flow, Cycle now,
                 lastBookedAbs_ = std::max(lastBookedAbs_, granted_abs);
                 ++grants_;
                 dirty_ = true;
+                NOC_OBSERVE(observer_,
+                            onSchedGrant(*this, flow, quantum_no,
+                                         granted_abs, st.injFrame, now));
                 DPRINTF(Sched, now, "%s: flow %u quantum %llu -> "
                         "slot %llu (frame %llu)", name_.c_str(), flow,
                         static_cast<unsigned long long>(quantum_no),
@@ -244,14 +248,17 @@ OutputScheduler::book(std::uint64_t local_slot, FlowId flow,
         if (c < 0)
             negative = true;
     }
-    if (negative)
+    if (negative) {
         ++violations_; // buffer overbooked: the anomaly of Section 4.2
+        NOC_OBSERVE(observer_, onSchedCreditNegative(*this, lastAdvance_));
+    }
     ++outstanding_;
 }
 
 void
 OutputScheduler::onCreditReturn(Slot abs_slot)
 {
+    NOC_OBSERVE(observer_, onSchedCreditReturn(*this, abs_slot));
     if (outstanding_ == 0) {
         // A return for a booking that predates a local status reset.
         // Credits are capped at the buffer size, so applying it below
@@ -288,6 +295,7 @@ OutputScheduler::clearBooking(Slot abs_slot)
         return; // dropped as stale by frame recycling
     busy_[s % params_.windowSlots()] = 0;
     bookings_.erase(it);
+    NOC_OBSERVE(observer_, onSchedBookingCleared(*this, abs_slot));
 }
 
 std::optional<SlotBooking>
@@ -345,6 +353,24 @@ OutputScheduler::localReset(Cycle now)
     lastBookedAbs_ = 0;
     dirty_ = false;
     ++resets_;
+    NOC_OBSERVE(observer_, onSchedLocalReset(*this, now));
+}
+
+void
+OutputScheduler::debugCorruptBookingFlow(Slot abs_slot)
+{
+    if (abs_slot < originSlot_)
+        return;
+    auto it = bookings_.find(abs_slot - originSlot_);
+    if (it == bookings_.end())
+        return;
+    it->second.flow = ~it->second.flow;
+}
+
+void
+OutputScheduler::debugAdjustCredit(Slot abs_slot, std::int32_t delta)
+{
+    creditRef(toLocal(abs_slot)) += delta;
 }
 
 std::int32_t

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/loft_params.hh"
+#include "net/instrument.hh"
 #include "sim/types.hh"
 
 namespace noc
@@ -86,6 +87,15 @@ class OutputScheduler
     /** The earliest still-booked absolute slot (for in-order checks). */
     std::optional<Slot> earliestBookedSlot() const;
 
+    /** Visit every live booking as (absolute slot, booking). */
+    template <typename Fn>
+    void
+    forEachBooking(Fn &&fn) const
+    {
+        for (const auto &[local, booking] : bookings_)
+            fn(toAbs(local), booking);
+    }
+
     /** True if the table is empty and no virtual credit is owed. */
     bool canLocalReset() const;
 
@@ -116,6 +126,29 @@ class OutputScheduler
         return skipped_[frame % params_.windowFrames];
     }
     const std::string &name() const { return name_; }
+    const LoftParams &params() const { return params_; }
+    /** First absolute slot of the current frame window. */
+    Slot windowStartAbsSlot() const { return toAbs(windowStartSlot()); }
+    /** One past the last absolute slot of the frame window. */
+    Slot windowEndAbsSlot() const { return toAbs(windowEndSlotEx()); }
+    /// @}
+
+    /** Attach an event observer (null detaches). */
+    void setObserver(NetObserver *obs) { observer_ = obs; }
+
+    /// @name Fault injection (tests only)
+    /// Deliberately corrupt internal state so the liveness of external
+    /// auditors can be proven. Never called by the simulator itself.
+    /// @{
+
+    /** Flip the flow id of the booking at @p abs_slot (no-op if the
+     *  slot is free). Models a bit error in the reservation table. */
+    void debugCorruptBookingFlow(Slot abs_slot);
+
+    /** Add @p delta to the virtual-credit word of @p abs_slot only
+     *  (not cumulative). Models a bit error in a credit counter. */
+    void debugAdjustCredit(Slot abs_slot, std::int32_t delta);
+
     /// @}
 
   private:
@@ -172,6 +205,7 @@ class OutputScheduler
     Slot lastBookedAbs_ = 0;
     bool dirty_ = false;
     Cycle lastAdvance_ = 0;
+    NetObserver *observer_ = nullptr;
 };
 
 } // namespace noc

@@ -34,6 +34,14 @@ class GsfNetwork : public Network
     const MetricsCollector &metrics() const override { return metrics_; }
     std::uint64_t flitsInFlight() const override;
 
+    void
+    setObserver(NetObserver *obs) override
+    {
+        fabric_.setObserver(obs);
+        for (auto &s : sources_)
+            s->setObserver(obs);
+    }
+
     const GsfBarrier &barrier() const { return barrier_; }
     MeshFabric &fabric() { return fabric_; }
     const GsfParams &params() const { return params_; }

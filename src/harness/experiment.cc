@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "audit/network_auditor.hh"
 #include "sim/logging.hh"
 #include "sim/simulator.hh"
 
@@ -32,33 +33,33 @@ uniformRates(std::size_t num_flows, double flits_per_cycle)
     return rates;
 }
 
+std::unique_ptr<Network>
+buildNetwork(const RunConfig &config, const Mesh2D &mesh)
+{
+    switch (config.kind) {
+      case NetKind::Loft:
+        return std::make_unique<LoftNetwork>(mesh, config.loft);
+      case NetKind::Gsf:
+        return std::make_unique<GsfNetwork>(mesh, config.gsf);
+      case NetKind::Wormhole:
+        return std::make_unique<WormholeNetwork>(
+            mesh, config.wormhole, config.wormholeSourceQueueFlits);
+    }
+    fatal("buildNetwork: unknown network kind");
+}
+
 RunResult
 runExperiment(const RunConfig &config, const TrafficPattern &pattern,
               const std::vector<FlowRate> &rates)
 {
     Mesh2D mesh(config.meshWidth, config.meshHeight);
-    std::unique_ptr<Network> net;
-    LoftNetwork *loft = nullptr;
-    GsfNetwork *gsf = nullptr;
+    std::unique_ptr<Network> net = buildNetwork(config, mesh);
+    auto *loft = dynamic_cast<LoftNetwork *>(net.get());
+    auto *gsf = dynamic_cast<GsfNetwork *>(net.get());
 
-    switch (config.kind) {
-      case NetKind::Loft: {
-        auto p = std::make_unique<LoftNetwork>(mesh, config.loft);
-        loft = p.get();
-        net = std::move(p);
-        break;
-      }
-      case NetKind::Gsf: {
-        auto p = std::make_unique<GsfNetwork>(mesh, config.gsf);
-        gsf = p.get();
-        net = std::move(p);
-        break;
-      }
-      case NetKind::Wormhole:
-        net = std::make_unique<WormholeNetwork>(
-            mesh, config.wormhole, config.wormholeSourceQueueFlits);
-        break;
-    }
+    std::unique_ptr<NetworkAuditor> auditor;
+    if (config.audit && kAuditCompiledIn)
+        auditor = std::make_unique<NetworkAuditor>(*net);
 
     net->registerFlows(pattern.flows);
 
@@ -68,6 +69,8 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
     Simulator sim;
     sim.add(&gen);
     net->attach(sim);
+    if (auditor)
+        auditor->attach(sim);
 
     sim.run(config.warmupCycles);
     net->metrics().startMeasurement(sim.now());
@@ -102,6 +105,12 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
     }
     if (gsf)
         r.frameRecycles = gsf->barrier().recycleCount();
+    if (auditor) {
+        r.auditHardViolations = auditor->hardViolationCount();
+        r.auditWatchdogs = auditor->countOf(AuditKind::Watchdog);
+        if (auditor->violationCount())
+            r.auditReport = auditor->report();
+    }
     return r;
 }
 

@@ -9,6 +9,7 @@
 #define NOC_HARNESS_EXPERIMENT_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/loft_network.hh"
@@ -42,6 +43,14 @@ struct RunConfig
     GsfParams gsf;
     WormholeParams wormhole;
     std::size_t wormholeSourceQueueFlits = 0;
+
+    /**
+     * Attach a NetworkAuditor for the run (src/audit). Default on so
+     * every experiment doubles as an invariant check; a no-op in
+     * builds configured with -DLOFT_AUDIT=OFF, where the hooks the
+     * auditor feeds from are compiled out.
+     */
+    bool audit = true;
 
     /**
      * Honour the LOFT_SIM_SCALE environment variable (a positive float
@@ -85,7 +94,24 @@ struct RunResult
      * node-major / port-minor (see LoftNetwork::linkUtilization).
      */
     std::vector<double> linkUtilization;
+
+    /// @name Invariant audit (zero when auditing is off / compiled out)
+    /// @{
+    /** Hard violations (everything except the soft watchdog). */
+    std::uint64_t auditHardViolations = 0;
+    /** Watchdog (deadlock/starvation) trips. */
+    std::uint64_t auditWatchdogs = 0;
+    /** Text report; empty when the run was clean. */
+    std::string auditReport;
+    /// @}
 };
+
+/**
+ * Build the network selected by @p config on @p mesh. @p mesh must
+ * outlive the returned network.
+ */
+std::unique_ptr<Network> buildNetwork(const RunConfig &config,
+                                      const Mesh2D &mesh);
 
 /**
  * Build the configured network, register the pattern's flows, warm up,

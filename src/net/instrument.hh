@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Network instrumentation: a passive observer interface that every
+ * network implementation (LOFT, GSF, wormhole) can publish its
+ * micro-architectural events to, plus the hook macro that makes the
+ * whole mechanism compile-time zero-cost.
+ *
+ * Components hold a `NetObserver *` (null by default) and announce
+ * events through NOC_OBSERVE(ptr, call). With LOFT_AUDIT_ENABLED == 0
+ * (CMake option -DLOFT_AUDIT=OFF) the macro expands to nothing, so no
+ * observer call — not even the null check — remains in the hot path.
+ *
+ * The observer sees four groups of events:
+ *  - flit life cycle: sourced at an NI, arrived at a router input,
+ *    forwarded through a router output, ejected at a sink;
+ *  - packet life cycle: accepted by an NI, fully delivered at a sink;
+ *  - LOFT reservation protocol: look-ahead admission into the input
+ *    reservation table and quantum output-scheduling decisions;
+ *  - LSF output-scheduler state transitions: flow registration, slot
+ *    grants, booking clears, virtual-credit returns, negative-credit
+ *    (anomaly) occurrences, and local status resets.
+ *
+ * All methods have empty default bodies so an observer implements only
+ * what it cares about.
+ */
+
+#ifndef NOC_NET_INSTRUMENT_HH
+#define NOC_NET_INSTRUMENT_HH
+
+#include "net/topology.hh"
+#include "sim/types.hh"
+
+#ifndef LOFT_AUDIT_ENABLED
+#define LOFT_AUDIT_ENABLED 1
+#endif
+
+#if LOFT_AUDIT_ENABLED
+#define NOC_OBSERVE(obs, call)                                          \
+    do {                                                                \
+        if (obs)                                                        \
+            (obs)->call;                                                \
+    } while (0)
+#else
+#define NOC_OBSERVE(obs, call)                                          \
+    do {                                                                \
+    } while (0)
+#endif
+
+namespace noc
+{
+
+struct Flit;
+struct LookaheadFlit;
+struct Packet;
+class OutputScheduler;
+
+/** True if instrumentation hooks are compiled into this build. */
+constexpr bool kAuditCompiledIn = LOFT_AUDIT_ENABLED != 0;
+
+class NetObserver
+{
+  public:
+    virtual ~NetObserver() = default;
+
+    /// @name Packet / flit life cycle (all networks)
+    /// @{
+
+    /** An NI accepted @p pkt into its source queue. */
+    virtual void onPacketAccepted(NodeId node, const Packet &pkt,
+                                  Cycle now)
+    {
+        (void)node;
+        (void)pkt;
+        (void)now;
+    }
+
+    /** An NI put @p flit on the wire towards its local router. */
+    virtual void onFlitSourced(NodeId node, const Flit &flit, bool spec,
+                               Cycle now)
+    {
+        (void)node;
+        (void)flit;
+        (void)spec;
+        (void)now;
+    }
+
+    /** A router buffered @p flit from input port @p in. */
+    virtual void onFlitArrived(NodeId node, Port in, const Flit &flit,
+                               bool spec, Cycle now)
+    {
+        (void)node;
+        (void)in;
+        (void)flit;
+        (void)spec;
+        (void)now;
+    }
+
+    /** A router transmitted @p flit through output port @p out. */
+    virtual void onFlitForwarded(NodeId node, Port out, const Flit &flit,
+                                 bool spec, Cycle now)
+    {
+        (void)node;
+        (void)out;
+        (void)flit;
+        (void)spec;
+        (void)now;
+    }
+
+    /** A sink consumed @p flit. */
+    virtual void onFlitEjected(NodeId node, const Flit &flit, Cycle now)
+    {
+        (void)node;
+        (void)flit;
+        (void)now;
+    }
+
+    /** All flits of packet @p pkt of @p flow have been consumed. */
+    virtual void onPacketDelivered(NodeId node, FlowId flow,
+                                   PacketId pkt, Cycle now)
+    {
+        (void)node;
+        (void)flow;
+        (void)pkt;
+        (void)now;
+    }
+
+    /// @}
+    /// @name LOFT reservation protocol
+    /// @{
+
+    /** A look-ahead flit was admitted into the input reservation table
+     *  of router @p node on port @p in. */
+    virtual void onLookaheadAdmitted(NodeId node, Port in,
+                                     const LookaheadFlit &la, Cycle now)
+    {
+        (void)node;
+        (void)in;
+        (void)la;
+        (void)now;
+    }
+
+    /** Router @p node scheduled quantum @p la to depart through
+     *  @p out at absolute slot @p granted (Local = to the sink). */
+    virtual void onQuantumScheduled(NodeId node, Port out,
+                                    const LookaheadFlit &la,
+                                    Slot granted, Cycle now)
+    {
+        (void)node;
+        (void)out;
+        (void)la;
+        (void)granted;
+        (void)now;
+    }
+
+    /** The NI of @p node scheduled quantum @p la over its local link
+     *  (the data will arrive at the node's own router). */
+    virtual void onNiQuantumScheduled(NodeId node, const LookaheadFlit &la,
+                                      Slot granted, Cycle now)
+    {
+        (void)node;
+        (void)la;
+        (void)granted;
+        (void)now;
+    }
+
+    /** Router @p node missed a scheduled switching slot on @p out. */
+    virtual void onMissedSlot(NodeId node, Port out, Cycle now)
+    {
+        (void)node;
+        (void)out;
+        (void)now;
+    }
+
+    /// @}
+    /// @name LSF output-scheduler state transitions
+    /// @{
+
+    /** @p flow was registered with reservation @p quanta slots/frame. */
+    virtual void onSchedFlowRegistered(const OutputScheduler &sched,
+                                       FlowId flow, std::uint32_t quanta)
+    {
+        (void)sched;
+        (void)flow;
+        (void)quanta;
+    }
+
+    /** A slot grant: @p flow books @p abs_slot in frame @p frame. */
+    virtual void onSchedGrant(const OutputScheduler &sched, FlowId flow,
+                              std::uint64_t quantum_no, Slot abs_slot,
+                              std::uint64_t frame, Cycle now)
+    {
+        (void)sched;
+        (void)flow;
+        (void)quantum_no;
+        (void)abs_slot;
+        (void)frame;
+        (void)now;
+    }
+
+    /** The booking at @p abs_slot was cleared (quantum fully sent). */
+    virtual void onSchedBookingCleared(const OutputScheduler &sched,
+                                       Slot abs_slot)
+    {
+        (void)sched;
+        (void)abs_slot;
+    }
+
+    /** A virtual credit stamped with @p abs_slot returned. */
+    virtual void onSchedCreditReturn(const OutputScheduler &sched,
+                                     Slot abs_slot)
+    {
+        (void)sched;
+        (void)abs_slot;
+    }
+
+    /** A booking drove some slot's virtual credit negative (the
+     *  Section 4.2 anomaly; expected only with the guard disabled). */
+    virtual void onSchedCreditNegative(const OutputScheduler &sched,
+                                       Cycle now)
+    {
+        (void)sched;
+        (void)now;
+    }
+
+    /** The scheduler performed a local status reset (Section 4.3.2). */
+    virtual void onSchedLocalReset(const OutputScheduler &sched,
+                                   Cycle now)
+    {
+        (void)sched;
+        (void)now;
+    }
+
+    /// @}
+};
+
+} // namespace noc
+
+#endif // NOC_NET_INSTRUMENT_HH

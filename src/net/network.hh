@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/instrument.hh"
 #include "net/metrics.hh"
 #include "net/packet.hh"
 #include "net/topology.hh"
@@ -72,6 +73,14 @@ class Network
 
     /** Total flits currently inside the network (for drain checks). */
     virtual std::uint64_t flitsInFlight() const = 0;
+
+    /**
+     * Publish micro-architectural events to @p obs (null detaches).
+     * Implementations distribute the pointer to all their components;
+     * with auditing compiled out the hooks are inert and this is a
+     * no-op. At most one observer is supported at a time.
+     */
+    virtual void setObserver(NetObserver *obs) { (void)obs; }
 };
 
 } // namespace noc

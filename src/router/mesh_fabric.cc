@@ -65,6 +65,15 @@ MeshFabric::setPriorityFn(const FlitPriorityFn &fn)
 }
 
 void
+MeshFabric::setObserver(NetObserver *obs)
+{
+    for (auto &r : routers_)
+        r->setObserver(obs);
+    for (auto &s : sinks_)
+        s->setObserver(obs);
+}
+
+void
 MeshFabric::attach(Simulator &sim)
 {
     for (auto &r : routers_)

@@ -43,6 +43,9 @@ class MeshFabric
     /** Install a flit priority function on every router. */
     void setPriorityFn(const FlitPriorityFn &fn);
 
+    /** Attach an event observer to every router and sink. */
+    void setObserver(NetObserver *obs);
+
     /** Register routers and sinks with the simulator. */
     void attach(Simulator &sim);
 

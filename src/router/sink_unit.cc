@@ -36,6 +36,7 @@ SinkUnit::tick(Cycle now)
     ++flitsEjected_;
     if (metrics_)
         metrics_->onFlitEjected(flit.flow);
+    NOC_OBSERVE(observer_, onFlitEjected(node_, flit, now));
     if (onEject_)
         onEject_(flit, now);
 
@@ -47,6 +48,9 @@ SinkUnit::tick(Cycle now)
     if (it->second == flit.pktSize) {
         if (metrics_)
             metrics_->onPacketEjected(flit.flow, flit.createdAt, now);
+        NOC_OBSERVE(observer_,
+                    onPacketDelivered(node_, flit.flow, flit.packet,
+                                      now));
         pending_.erase(it);
     } else if (it->second > flit.pktSize) {
         panic("sink %u: packet %llu received more flits than its size %u",

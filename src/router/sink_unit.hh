@@ -34,6 +34,9 @@ class SinkUnit : public Clocked
 
     std::uint64_t flitsEjected() const { return flitsEjected_; }
 
+    /** Attach an event observer. */
+    void setObserver(NetObserver *obs) { observer_ = obs; }
+
   private:
     NodeId node_;
     Channel<WireFlit> *in_;
@@ -43,6 +46,7 @@ class SinkUnit : public Clocked
     /** Received flit count per partially received packet. */
     std::unordered_map<PacketId, std::uint32_t> pending_;
     std::uint64_t flitsEjected_ = 0;
+    NetObserver *observer_ = nullptr;
 };
 
 } // namespace noc

@@ -34,6 +34,7 @@ SourceUnit::enqueue(const Packet &pkt)
               node_, pkt.src);
     queue_.push_back(pkt);
     queuedFlits_ += pkt.sizeFlits;
+    NOC_OBSERVE(observer_, onPacketAccepted(node_, pkt, pkt.enqueuedAt));
     return true;
 }
 
@@ -108,6 +109,7 @@ SourceUnit::tick(Cycle now)
         flit.frame = currentFrame_;
 
         out_->send(now, WireFlit{flit, currentVC_});
+        NOC_OBSERVE(observer_, onFlitSourced(node_, flit, false, now));
         --vcs_[currentVC_].credits;
         --queuedFlits_;
         ++sentFlits_;

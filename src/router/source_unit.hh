@@ -50,6 +50,9 @@ class SourceUnit : public Clocked
 
     NodeId node() const { return node_; }
 
+    /** Attach an event observer. */
+    void setObserver(NetObserver *obs) { observer_ = obs; }
+
   protected:
     /**
      * GSF hook: may the packet at the head of the queue start
@@ -102,6 +105,9 @@ class SourceUnit : public Clocked
     std::uint64_t currentFrame_ = 0;
 
     std::uint64_t nextFlitNo_ = 0;
+
+  protected:
+    NetObserver *observer_ = nullptr;
 };
 
 } // namespace noc

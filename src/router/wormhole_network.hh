@@ -33,6 +33,14 @@ class WormholeNetwork : public Network
     const MetricsCollector &metrics() const override { return metrics_; }
     std::uint64_t flitsInFlight() const override;
 
+    void
+    setObserver(NetObserver *obs) override
+    {
+        fabric_.setObserver(obs);
+        for (auto &s : sources_)
+            s->setObserver(obs);
+    }
+
     MeshFabric &fabric() { return fabric_; }
     SourceUnit &source(NodeId n) { return *sources_.at(n); }
 

@@ -113,6 +113,9 @@ WormholeRouter::receiveFlits(Cycle now)
                       "(credit protocol violated)", id_, p, wf->vc);
             // Flit arriving now may traverse the switch after the
             // remaining pipeline stages.
+            NOC_OBSERVE(observer_,
+                        onFlitArrived(id_, static_cast<Port>(p),
+                                      wf->flit, false, now));
             v.buffer.push_back({wf->flit, now + params_.routerStages - 1});
         }
     }
@@ -178,6 +181,9 @@ WormholeRouter::switchAllocAndTraverse(Cycle now)
         v.buffer.pop_front();
 
         out_[outp]->send(now, WireFlit{flit, v.outVC});
+        NOC_OBSERVE(observer_,
+                    onFlitForwarded(id_, static_cast<Port>(outp), flit,
+                                    false, now));
         --o.credits;
         if (creditReturn_[win])
             creditReturn_[win]->send(

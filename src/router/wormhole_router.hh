@@ -21,6 +21,7 @@
 
 #include "net/channel.hh"
 #include "net/flit.hh"
+#include "net/instrument.hh"
 #include "net/routing.hh"
 #include "net/topology.hh"
 #include "router/arbiter.hh"
@@ -77,6 +78,9 @@ class WormholeRouter : public Clocked
 
     /** Install the allocation priority function (default: none). */
     void setPriorityFn(FlitPriorityFn fn) { priority_ = std::move(fn); }
+
+    /** Attach an event observer. */
+    void setObserver(NetObserver *obs) { observer_ = obs; }
 
     void tick(Cycle now) override;
 
@@ -156,6 +160,8 @@ class WormholeRouter : public Clocked
     std::array<RoundRobinArbiter, kNumPorts> outputArb_;
     /** Per-output-port arbitration for VC allocation. */
     std::array<RoundRobinArbiter, kNumPorts> vcArb_;
+
+    NetObserver *observer_ = nullptr;
 };
 
 } // namespace noc

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <ios>
+#include <sstream>
+
 #include "harness/experiment.hh"
 #include "qos/allocation.hh"
 
@@ -108,6 +111,56 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(FrameCase{64, 2, 2}, FrameCase{64, 4, 2},
                       FrameCase{128, 2, 2}, FrameCase{64, 2, 1},
                       FrameCase{128, 2, 4}));
+
+/// ---------------------------------------------------------------
+/// Determinism: the simulator must be a pure function of its seed.
+/// ---------------------------------------------------------------
+
+/** Serialize every metric of a run, bit-exact (hexfloat). */
+std::string
+fingerprint(const RunResult &r)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << r.avgPacketLatency << " " << r.maxPacketLatency << " "
+       << r.p50PacketLatency << " " << r.p95PacketLatency << " "
+       << r.p99PacketLatency << " " << r.networkThroughput << " "
+       << r.totalFlits << " " << r.totalPackets << " "
+       << r.localResets << " " << r.speculativeForwards << " "
+       << r.emergentForwards << " " << r.missedSlots << "\n";
+    for (double v : r.flowThroughput)
+        os << v << " ";
+    for (double v : r.flowAvgLatency)
+        os << v << " ";
+    for (double v : r.flowMaxLatency)
+        os << v << " ";
+    for (double v : r.linkUtilization)
+        os << v << " ";
+    return os.str();
+}
+
+RunResult
+determinismRun(std::uint64_t seed)
+{
+    Mesh2D mesh(4, 4);
+    TrafficPattern p = uniformPattern(mesh);
+    setEqualSharesByMaxFlows(p.flows, 16);
+    return runExperiment(miniLoft(seed), p, 0.2);
+}
+
+TEST(Determinism, SameSeedReproducesBitIdenticalMetrics)
+{
+    const std::string a = fingerprint(determinismRun(42));
+    const std::string b = fingerprint(determinismRun(42));
+    EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, DifferentSeedsProduceDifferentRuns)
+{
+    const std::string a = fingerprint(determinismRun(1));
+    const std::string b = fingerprint(determinismRun(2));
+    EXPECT_NE(a, b);
+}
 
 } // namespace
 } // namespace noc
