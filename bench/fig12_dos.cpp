@@ -14,7 +14,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench_common.hh"
@@ -40,6 +42,10 @@ std::map<std::string, std::vector<DosPoint>> g_results;
 void
 runDos(const std::string &name, const RunConfig &config)
 {
+    // With LOFT_TELEMETRY_DIR set, the highest-aggression point runs
+    // with the telemetry collector attached and drops its link
+    // heatmap + epoch time series there (see docs/TELEMETRY.md).
+    const char *tdir = std::getenv("LOFT_TELEMETRY_DIR");
     Mesh2D mesh(8, 8);
     const TrafficPattern p = dosPattern(mesh);
     std::vector<DosPoint> series;
@@ -49,13 +55,34 @@ runDos(const std::string &name, const RunConfig &config)
         rates[0].process = InjectionProcess::Periodic;
         rates[1].flitsPerCycle = rate;
         rates[2].flitsPerCycle = rate;
-        const RunResult r = runExperiment(config, p, rates);
+        RunConfig c = config;
+        if (tdir && rate == kAggressorRates.back()) {
+            c.telemetry.enabled = true;
+            c.telemetry.epochCycles = 500;
+            c.telemetry.tracePackets = false; // counters only
+        }
+        const RunResult r = runExperiment(c, p, rates);
         DosPoint pt;
         for (int f = 0; f < 3; ++f) {
             pt.latency[f] = r.flowAvgLatency[f];
             pt.throughput[f] = r.flowThroughput[f];
         }
         series.push_back(pt);
+        if (r.telemetry) {
+            auto dump = [&](const std::string &path,
+                            const std::string &content) {
+                if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+                    std::fwrite(content.data(), 1, content.size(), f);
+                    std::fclose(f);
+                    std::printf("telemetry: wrote %s\n", path.c_str());
+                }
+            };
+            const std::string base =
+                std::string(tdir) + "/fig12_" + name;
+            dump(base + "_heatmap.csv", r.telemetry->heatmapCsv());
+            dump(base + "_timeseries.csv",
+                 r.telemetry->timeSeriesCsv());
+        }
     }
     g_results[name] = std::move(series);
 }

@@ -222,6 +222,10 @@ OutputScheduler::trySchedule(FlowId flow, Cycle now,
             // Advance the injection frame; the unused reservation is
             // voluntarily yielded (skipped).
             skipped_[st.injFrame % params_.windowFrames] += st.c;
+            if (st.c > 0)
+                NOC_OBSERVE(observer_,
+                            onSchedSkipped(*this, flow, st.c,
+                                           st.injFrame, now));
             st.c = std::min(st.r, st.c + st.r);
             ++st.injFrame;
         } else {

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "audit/network_auditor.hh"
+#include "net/observer_mux.hh"
 #include "sim/logging.hh"
 #include "sim/simulator.hh"
 
@@ -61,6 +62,32 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
     if (config.audit && kAuditCompiledIn)
         auditor = std::make_unique<NetworkAuditor>(*net);
 
+    // The network holds a single observer pointer; when both the
+    // auditor and telemetry are requested, fan out through a mux.
+    std::shared_ptr<TelemetryCollector> telemetry;
+    ObserverMux mux;
+    if (config.telemetry.enabled && kAuditCompiledIn) {
+        std::vector<std::uint32_t> class_of;
+        for (std::size_t i = 0; i < pattern.flows.size() &&
+                                i < pattern.groups.size();
+             ++i) {
+            const FlowId id = pattern.flows[i].id;
+            if (id >= class_of.size())
+                class_of.resize(id + 1, 0);
+            class_of[id] = pattern.groups[i];
+        }
+        telemetry = std::make_shared<TelemetryCollector>(
+            mesh, config.telemetry, std::move(class_of),
+            pattern.groupNames);
+        if (auditor) {
+            mux.add(auditor.get());
+            mux.add(telemetry.get());
+            net->setObserver(&mux);
+        } else {
+            net->setObserver(telemetry.get());
+        }
+    }
+
     net->registerFlows(pattern.flows);
 
     TrafficGenerator gen(*net, config.packetSizeFlits, config.seed);
@@ -71,11 +98,19 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
     net->attach(sim);
     if (auditor)
         auditor->attach(sim);
+    if (telemetry)
+        sim.add(telemetry.get()); // last: samples end-of-cycle state
 
     sim.run(config.warmupCycles);
     net->metrics().startMeasurement(sim.now());
+    if (telemetry)
+        telemetry->startMeasurement(sim.now());
     sim.run(config.measureCycles);
     net->metrics().stopMeasurement(sim.now());
+    if (telemetry) {
+        telemetry->stopMeasurement(sim.now());
+        telemetry->finish(sim.now());
+    }
 
     const MetricsCollector &m = net->metrics();
     RunResult r;
@@ -92,6 +127,7 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
         r.flowThroughput.push_back(m.flowThroughput(id));
         r.flowAvgLatency.push_back(m.flow(id).packetLatency.mean());
         r.flowMaxLatency.push_back(m.flow(id).packetLatency.max());
+        r.flowP99Latency.push_back(m.flowLatencyPercentile(id, 0.99));
     }
     if (loft) {
         r.linkUtilization =
@@ -111,6 +147,7 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
         if (auditor->violationCount())
             r.auditReport = auditor->report();
     }
+    r.telemetry = telemetry;
     return r;
 }
 

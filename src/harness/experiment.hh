@@ -15,6 +15,7 @@
 #include "core/loft_network.hh"
 #include "gsf/gsf_network.hh"
 #include "router/wormhole_network.hh"
+#include "telemetry/telemetry.hh"
 #include "traffic/generator.hh"
 #include "traffic/pattern.hh"
 
@@ -53,6 +54,16 @@ struct RunConfig
     bool audit = true;
 
     /**
+     * Attach a TelemetryCollector (src/telemetry) for the run. Off by
+     * default; set telemetry.enabled = true to turn it on. Composable
+     * with `audit` — the harness fans the observer hook out through an
+     * ObserverMux when both are requested. A no-op in builds with
+     * -DLOFT_AUDIT=OFF. The per-flow QoS classes of the collector are
+     * taken from the traffic pattern's group labels.
+     */
+    TelemetryConfig telemetry;
+
+    /**
      * Honour the LOFT_SIM_SCALE environment variable (a positive float
      * multiplying warmup/measure cycles) for quick smoke runs.
      */
@@ -72,6 +83,8 @@ struct RunResult
     std::vector<double> flowThroughput;
     std::vector<double> flowAvgLatency;
     std::vector<double> flowMaxLatency;
+    /** Per-flow tail latency (99th percentile, cycles). */
+    std::vector<double> flowP99Latency;
     std::uint64_t totalFlits = 0;
     std::uint64_t totalPackets = 0;
 
@@ -104,6 +117,14 @@ struct RunResult
     /** Text report; empty when the run was clean. */
     std::string auditReport;
     /// @}
+
+    /**
+     * The run's telemetry collector (null unless
+     * RunConfig::telemetry.enabled and the hooks are compiled in).
+     * Epochs are closed and ready for export when runExperiment
+     * returns.
+     */
+    std::shared_ptr<TelemetryCollector> telemetry;
 };
 
 /**

@@ -197,6 +197,20 @@ class NetObserver
         (void)now;
     }
 
+    /** @p flow advanced its injection frame past @p frame and yielded
+     *  @p quanta unused reserved slots (the skipped(i) bookkeeping of
+     *  Algorithm 1; FRS redistributes the capacity). */
+    virtual void onSchedSkipped(const OutputScheduler &sched, FlowId flow,
+                                std::uint32_t quanta, std::uint64_t frame,
+                                Cycle now)
+    {
+        (void)sched;
+        (void)flow;
+        (void)quanta;
+        (void)frame;
+        (void)now;
+    }
+
     /** The booking at @p abs_slot was cleared (quantum fully sent). */
     virtual void onSchedBookingCleared(const OutputScheduler &sched,
                                        Slot abs_slot)

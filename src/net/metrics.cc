@@ -57,6 +57,7 @@ MetricsCollector::onPacketEjected(FlowId flow, Cycle created_at, Cycle now)
         panic("MetricsCollector: flow %u out of range", flow);
     const double latency = static_cast<double>(now - created_at);
     flows_[flow].packetLatency.sample(latency);
+    flows_[flow].latencyHist.sample(latency);
     allLatency_.sample(latency);
     latencyHist_.sample(latency);
     ++flows_[flow].packetsEjected;
@@ -79,6 +80,12 @@ double
 MetricsCollector::packetLatencyPercentile(double p) const
 {
     return latencyHist_.percentile(p);
+}
+
+double
+MetricsCollector::flowLatencyPercentile(FlowId f, double p) const
+{
+    return flows_.at(f).latencyHist.percentile(p);
 }
 
 double

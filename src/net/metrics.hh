@@ -16,12 +16,25 @@
 namespace noc
 {
 
+/**
+ * Geometry of the latency histograms: log-spaced buckets covering
+ * 1 cycle .. 2^20 cycles with 8 buckets per octave (~9% relative
+ * resolution), shared by per-flow, per-class and network-wide
+ * distributions so they can be merged.
+ */
+constexpr double kLatencyHistLo = 1.0;
+constexpr double kLatencyHistHi = 1 << 20;
+constexpr std::size_t kLatencyHistBuckets = 160;
+
 /** Aggregated measurement results for one flow. */
 struct FlowMetrics
 {
     std::uint64_t packetsEjected = 0;
     std::uint64_t flitsEjected = 0;
     RunningStat packetLatency;
+    /** Log-bucketed latency distribution (tail percentiles). */
+    LogHistogram latencyHist{kLatencyHistLo, kLatencyHistHi,
+                             kLatencyHistBuckets};
 };
 
 /**
@@ -64,6 +77,12 @@ class MetricsCollector
     /** Latency percentile over all packets in the window (cycles). */
     double packetLatencyPercentile(double p) const;
 
+    /** Latency percentile of one flow's packets (cycles). */
+    double flowLatencyPercentile(FlowId f, double p) const;
+
+    /** The network-wide latency distribution (log-bucketed). */
+    const LogHistogram &latencyHistogram() const { return latencyHist_; }
+
     /** Max packet latency seen in the window (cycles). */
     double maxPacketLatency() const;
 
@@ -79,7 +98,8 @@ class MetricsCollector
   private:
     std::vector<FlowMetrics> flows_;
     RunningStat allLatency_;
-    Histogram latencyHist_{16.0, 2048};
+    LogHistogram latencyHist_{kLatencyHistLo, kLatencyHistHi,
+                              kLatencyHistBuckets};
     std::uint64_t totalFlits_ = 0;
     std::uint64_t totalPackets_ = 0;
     bool measuring_ = false;

@@ -171,4 +171,57 @@ ReportTable::write(std::FILE *out, const std::string &format) const
     std::fputs(text.c_str(), out);
 }
 
+std::string
+ReportDocument::toText() const
+{
+    std::string out = title_ + "\n\n";
+    for (const ReportTable &t : tables_) {
+        out += t.toText();
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+ReportDocument::toCsv() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+        if (i)
+            out += "\n";
+        out += "# " + tables_[i].title() + "\n";
+        out += tables_[i].toCsv();
+    }
+    return out;
+}
+
+std::string
+ReportDocument::toJson() const
+{
+    std::string out =
+        "{\"title\":\"" + jsonEscape(title_) + "\",\"tables\":[";
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+        if (i)
+            out += ",";
+        out += tables_[i].toJson();
+    }
+    out += "]}";
+    return out;
+}
+
+void
+ReportDocument::write(std::FILE *out, const std::string &format) const
+{
+    std::string text;
+    if (format == "text")
+        text = toText();
+    else if (format == "csv")
+        text = toCsv();
+    else if (format == "json")
+        text = toJson() + "\n";
+    else
+        fatal("ReportDocument: unknown format '%s'", format.c_str());
+    std::fputs(text.c_str(), out);
+}
+
 } // namespace noc

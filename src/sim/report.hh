@@ -57,6 +57,40 @@ class ReportTable
     std::vector<std::vector<ReportCell>> rows_;
 };
 
+/**
+ * An ordered collection of ReportTables rendered as one artifact: a
+ * titled text report, concatenated CSV sections, or a single JSON
+ * object {"title", "tables": [...]}. Used by the telemetry demo and
+ * other multi-table structured outputs.
+ */
+class ReportDocument
+{
+  public:
+    explicit ReportDocument(std::string title) : title_(std::move(title))
+    {
+    }
+
+    void add(ReportTable table) { tables_.push_back(std::move(table)); }
+
+    const std::string &title() const { return title_; }
+    std::size_t numTables() const { return tables_.size(); }
+    const ReportTable &table(std::size_t i) const
+    {
+        return tables_.at(i);
+    }
+
+    std::string toText() const;
+    std::string toCsv() const;
+    std::string toJson() const;
+
+    /** Write a rendering chosen by @p format ("text"|"csv"|"json"). */
+    void write(std::FILE *out, const std::string &format) const;
+
+  private:
+    std::string title_;
+    std::vector<ReportTable> tables_;
+};
+
 /** Escape a string for JSON output. */
 std::string jsonEscape(const std::string &s);
 

@@ -90,6 +90,62 @@ class Histogram
     double maxSample_ = 0.0;
 };
 
+/**
+ * Histogram with logarithmically spaced buckets, for long-tailed
+ * distributions (packet latency). Bucket i of n covers
+ * [bound(i), bound(i+1)) with bound(i) = lo * (hi/lo)^(i/n), so equal
+ * relative resolution across the whole [lo, hi) range; samples below
+ * lo land in bucket 0 and samples at or above hi are counted in a
+ * dedicated overflow bucket. Percentiles interpolate linearly inside
+ * the containing bucket and are exact at the recorded min/max.
+ */
+class LogHistogram
+{
+  public:
+    /**
+     * @param lo lower edge of bucket 0 (> 0).
+     * @param hi lower edge of the overflow bucket (> lo).
+     * @param num_buckets number of finite buckets n (>= 1).
+     */
+    LogHistogram(double lo = 1.0, double hi = 1 << 20,
+                 std::size_t num_buckets = 80);
+
+    void sample(double x);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::uint64_t overflow() const { return overflow_; }
+    std::size_t numBuckets() const { return buckets_.size(); }
+
+    /** Lower edge of bucket @p i; bound(numBuckets()) is the overflow
+     *  threshold @c hi. */
+    double bound(std::size_t i) const { return bounds_.at(i); }
+
+    /** p in [0, 1]; linear interpolation within the bucket, clamped to
+     *  the observed sample range. */
+    double percentile(double p) const;
+
+    double minSample() const { return count_ ? minSample_ : 0.0; }
+    double maxSample() const { return count_ ? maxSample_ : 0.0; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /** Merge another histogram with identical geometry. */
+    void merge(const LogHistogram &other);
+
+  private:
+    std::vector<double> bounds_; ///< numBuckets() + 1 lower edges
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double minSample_ = 0.0;
+    double maxSample_ = 0.0;
+    double sum_ = 0.0;
+};
+
 /** Fairness summary over a set of per-flow throughput values. */
 struct FairnessSummary
 {

@@ -1,0 +1,559 @@
+#include "telemetry/telemetry.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/output_scheduler.hh"
+#include "net/flit.hh"
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+namespace
+{
+
+/** Lane display names: the router ports, then the NI. */
+const char *
+laneName(std::size_t lane)
+{
+    if (lane < kNumPorts)
+        return portName(static_cast<Port>(lane));
+    return "NI";
+}
+
+} // namespace
+
+TelemetryCollector::TelemetryCollector(const Mesh2D &mesh,
+                                       TelemetryConfig config,
+                                       std::vector<std::uint32_t> class_of,
+                                       std::vector<std::string> class_names)
+    : width_(mesh.width()), height_(mesh.height()),
+      numNodes_(mesh.numNodes()), cfg_(config),
+      cur_(numNodes_ * kNumLanes), lastLanes_(numNodes_ * kNumLanes),
+      buffered_(numNodes_, 0), ejected_(numNodes_, 0),
+      delivered_(numNodes_, 0), lastEjected_(numNodes_, 0),
+      lastDelivered_(numNodes_, 0), classOf_(std::move(class_of)),
+      classNames_(std::move(class_names))
+{
+    if (cfg_.epochCycles == 0)
+        panic("TelemetryCollector: epochCycles must be positive");
+    std::uint32_t num_classes = 1;
+    for (std::uint32_t c : classOf_)
+        num_classes = std::max(num_classes, c + 1);
+    classHist_.assign(num_classes,
+                      LogHistogram(kLatencyHistLo, kLatencyHistHi,
+                                   kLatencyHistBuckets));
+    while (classNames_.size() < num_classes)
+        classNames_.push_back(
+            csprintf("class%zu", classNames_.size()));
+    schedLanes_.reserve(numNodes_ * kNumLanes);
+    live_.reserve(1024);
+    // Trace metadata: one process, one track (tid) per node.
+    if (cfg_.tracePackets || cfg_.traceFlits) {
+        trace_.reserve(std::min<std::size_t>(cfg_.maxTraceEvents,
+                                             1 << 14));
+        trace_.push_back("{\"name\":\"process_name\",\"ph\":\"M\","
+                         "\"pid\":1,\"args\":{\"name\":\"loft-noc\"}}");
+        for (std::size_t n = 0; n < numNodes_; ++n)
+            trace_.push_back(csprintf(
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                "\"tid\":%zu,\"args\":{\"name\":\"node %zu\"}}",
+                n, n));
+    }
+}
+
+std::uint32_t
+TelemetryCollector::classOfFlow(FlowId flow) const
+{
+    if (flow < classOf_.size())
+        return classOf_[flow];
+    return 0;
+}
+
+const LaneCounters &
+TelemetryCollector::lane(NodeId node, std::size_t lane) const
+{
+    return cur_.at(laneIndex(node, lane));
+}
+
+std::uint64_t
+TelemetryCollector::windowFlits(FlowId flow) const
+{
+    return flow < windowFlits_.size() ? windowFlits_[flow] : 0;
+}
+
+std::uint64_t
+TelemetryCollector::windowPackets(FlowId flow) const
+{
+    return flow < windowPackets_.size() ? windowPackets_[flow] : 0;
+}
+
+const LogHistogram &
+TelemetryCollector::flowLatency(FlowId flow) const
+{
+    static const LogHistogram empty{kLatencyHistLo, kLatencyHistHi,
+                                    kLatencyHistBuckets};
+    auto it = flowHist_.find(flow);
+    return it == flowHist_.end() ? empty : it->second;
+}
+
+const LogHistogram &
+TelemetryCollector::classLatency(std::uint32_t cls) const
+{
+    return classHist_.at(cls);
+}
+
+void
+TelemetryCollector::startMeasurement(Cycle now)
+{
+    measuring_ = true;
+    windowStart_ = now;
+    windowEnd_ = now;
+    windowTotalFlits_ = 0;
+    windowTotalPackets_ = 0;
+    windowFlits_.clear();
+    windowPackets_.clear();
+    flowHist_.clear();
+    allLatency_.reset();
+    for (auto &h : classHist_)
+        h.reset();
+}
+
+void
+TelemetryCollector::stopMeasurement(Cycle now)
+{
+    measuring_ = false;
+    windowEnd_ = now;
+}
+
+std::size_t
+TelemetryCollector::schedLane(const OutputScheduler &sched)
+{
+    auto it = schedLanes_.find(&sched);
+    if (it != schedLanes_.end())
+        return it->second;
+
+    const std::string &name = sched.name();
+    unsigned node = 0;
+    std::size_t lane = kNiLane;
+    if (std::sscanf(name.c_str(), "ni%u.", &node) == 1) {
+        lane = kNiLane;
+    } else if (std::sscanf(name.c_str(), "router%u.", &node) == 1) {
+        lane = kNumLanes; // sentinel until the port token matches
+        for (std::size_t p = 0; p < kNumPorts; ++p) {
+            const std::string tok =
+                std::string(".") +
+                portName(static_cast<Port>(p)) + ".";
+            if (name.find(tok) != std::string::npos) {
+                lane = p;
+                break;
+            }
+        }
+        if (lane == kNumLanes)
+            panic("telemetry: unrecognized scheduler port in '%s'",
+                  name.c_str());
+    } else {
+        panic("telemetry: unrecognized scheduler name '%s'",
+              name.c_str());
+    }
+    if (node >= numNodes_)
+        panic("telemetry: scheduler '%s' names node %u of %zu",
+              name.c_str(), node, numNodes_);
+    const std::size_t idx = laneIndex(node, lane);
+    schedLanes_.emplace(&sched, idx);
+    return idx;
+}
+
+void
+TelemetryCollector::traceEvent(std::string json)
+{
+    if (trace_.size() >= cfg_.maxTraceEvents) {
+        ++traceDropped_;
+        return;
+    }
+    trace_.push_back(std::move(json));
+}
+
+// ---------------------------------------------------------------------
+// Event intake
+// ---------------------------------------------------------------------
+
+void
+TelemetryCollector::onPacketAccepted(NodeId node, const Packet &pkt,
+                                     Cycle now)
+{
+    live_[pkt.id] =
+        LivePacket{pkt.flow, pkt.src, pkt.dst, pkt.createdAt};
+    if (cfg_.tracePackets) {
+        traceEvent(csprintf(
+            "{\"cat\":\"packet\",\"name\":\"flow%u\",\"ph\":\"b\","
+            "\"id\":%" PRIu64 ",\"pid\":1,\"tid\":%u,\"ts\":%" PRIu64
+            ",\"args\":{\"flow\":%u,\"src\":%u,\"dst\":%u,"
+            "\"size_flits\":%u}}",
+            pkt.flow, pkt.id, node, now, pkt.flow, pkt.src, pkt.dst,
+            pkt.sizeFlits));
+    }
+}
+
+void
+TelemetryCollector::onFlitSourced(NodeId node, const Flit &flit,
+                                  bool spec, Cycle now)
+{
+    (void)now;
+    (void)flit;
+    LaneCounters &c = laneRef(node, kNiLane);
+    ++c.flitsForwarded;
+    if (spec)
+        ++c.specForwards;
+}
+
+void
+TelemetryCollector::onFlitArrived(NodeId node, Port in, const Flit &flit,
+                                  bool spec, Cycle now)
+{
+    (void)in;
+    (void)flit;
+    (void)spec;
+    (void)now;
+    ++buffered_[node];
+}
+
+void
+TelemetryCollector::onFlitForwarded(NodeId node, Port out,
+                                    const Flit &flit, bool spec,
+                                    Cycle now)
+{
+    LaneCounters &c = laneRef(node, portIndex(out));
+    ++c.flitsForwarded;
+    if (spec)
+        ++c.specForwards;
+    if (buffered_[node] > 0)
+        --buffered_[node];
+    if (cfg_.traceFlits) {
+        traceEvent(csprintf(
+            "{\"cat\":\"flit\",\"name\":\"fwd %s\",\"ph\":\"i\","
+            "\"s\":\"t\",\"pid\":1,\"tid\":%u,\"ts\":%" PRIu64
+            ",\"args\":{\"flow\":%u,\"flit\":%" PRIu64
+            ",\"spec\":%d}}",
+            portName(out), node, now, flit.flow, flit.flitNo,
+            spec ? 1 : 0));
+    }
+}
+
+void
+TelemetryCollector::onFlitEjected(NodeId node, const Flit &flit,
+                                  Cycle now)
+{
+    (void)now;
+    ++ejected_[node];
+    if (measuring_) {
+        if (flit.flow >= windowFlits_.size())
+            windowFlits_.resize(flit.flow + 1, 0);
+        ++windowFlits_[flit.flow];
+        ++windowTotalFlits_;
+    }
+}
+
+void
+TelemetryCollector::onPacketDelivered(NodeId node, FlowId flow,
+                                      PacketId pkt, Cycle now)
+{
+    ++delivered_[node];
+    auto it = live_.find(pkt);
+    const bool known = it != live_.end();
+    if (measuring_) {
+        if (flow >= windowPackets_.size())
+            windowPackets_.resize(flow + 1, 0);
+        ++windowPackets_[flow];
+        ++windowTotalPackets_;
+        if (known) {
+            const double latency =
+                static_cast<double>(now - it->second.accepted);
+            allLatency_.sample(latency);
+            classHist_[classOfFlow(flow)].sample(latency);
+            auto [fh, inserted] = flowHist_.try_emplace(
+                flow, LogHistogram(kLatencyHistLo, kLatencyHistHi,
+                                   kLatencyHistBuckets));
+            (void)inserted;
+            fh->second.sample(latency);
+        }
+    }
+    if (known) {
+        if (cfg_.tracePackets) {
+            traceEvent(csprintf(
+                "{\"cat\":\"packet\",\"name\":\"flow%u\",\"ph\":\"e\","
+                "\"id\":%" PRIu64 ",\"pid\":1,\"tid\":%u,\"ts\":%"
+                PRIu64 ",\"args\":{\"delivered_at\":%u,\"latency\":%"
+                PRIu64 "}}",
+                flow, pkt, it->second.src, now, node,
+                now - it->second.accepted));
+        }
+        live_.erase(it);
+    }
+}
+
+void
+TelemetryCollector::onLookaheadAdmitted(NodeId node, Port in,
+                                        const LookaheadFlit &la,
+                                        Cycle now)
+{
+    (void)la;
+    (void)now;
+    ++laneRef(node, portIndex(in)).lookaheadAdmits;
+}
+
+void
+TelemetryCollector::onMissedSlot(NodeId node, Port out, Cycle now)
+{
+    (void)now;
+    ++laneRef(node, portIndex(out)).missedSlots;
+}
+
+void
+TelemetryCollector::onSchedGrant(const OutputScheduler &sched,
+                                 FlowId flow, std::uint64_t quantum_no,
+                                 Slot abs_slot, std::uint64_t frame,
+                                 Cycle now)
+{
+    (void)flow;
+    (void)quantum_no;
+    (void)abs_slot;
+    (void)frame;
+    (void)now;
+    ++cur_[schedLane(sched)].grants;
+}
+
+void
+TelemetryCollector::onSchedSkipped(const OutputScheduler &sched,
+                                   FlowId flow, std::uint32_t quanta,
+                                   std::uint64_t frame, Cycle now)
+{
+    (void)flow;
+    (void)frame;
+    (void)now;
+    cur_[schedLane(sched)].skippedQuanta += quanta;
+}
+
+void
+TelemetryCollector::onSchedCreditReturn(const OutputScheduler &sched,
+                                        Slot abs_slot)
+{
+    (void)abs_slot;
+    ++cur_[schedLane(sched)].creditReturns;
+}
+
+void
+TelemetryCollector::onSchedLocalReset(const OutputScheduler &sched,
+                                      Cycle now)
+{
+    (void)now;
+    ++cur_[schedLane(sched)].localResets;
+}
+
+// ---------------------------------------------------------------------
+// Epoch sampling
+// ---------------------------------------------------------------------
+
+void
+TelemetryCollector::tick(Cycle now)
+{
+    if (now + 1 >= epochStart_ + cfg_.epochCycles)
+        closeEpoch(now + 1);
+}
+
+void
+TelemetryCollector::finish(Cycle now)
+{
+    if (finished_)
+        return;
+    if (now > epochStart_)
+        closeEpoch(now);
+    finished_ = true;
+}
+
+void
+TelemetryCollector::closeEpoch(Cycle end)
+{
+    // Refresh the reservation-table occupancy gauges from the live
+    // schedulers (event replay would drift: frame recycling drops
+    // stale bookings without an event). Purely const access.
+    for (const auto &[sched, idx] : schedLanes_) {
+        std::uint64_t n = 0;
+        sched->forEachBooking([&n](Slot, const SlotBooking &) { ++n; });
+        cur_[idx].tableOccupancy = n;
+    }
+
+    TelemetryEpoch ep;
+    ep.start = epochStart_;
+    ep.end = end;
+    ep.lanes.resize(cur_.size());
+    for (std::size_t i = 0; i < cur_.size(); ++i) {
+        const LaneCounters &a = lastLanes_[i];
+        const LaneCounters &b = cur_[i];
+        LaneCounters &d = ep.lanes[i];
+        d.flitsForwarded = b.flitsForwarded - a.flitsForwarded;
+        d.specForwards = b.specForwards - a.specForwards;
+        d.missedSlots = b.missedSlots - a.missedSlots;
+        d.lookaheadAdmits = b.lookaheadAdmits - a.lookaheadAdmits;
+        d.grants = b.grants - a.grants;
+        d.creditReturns = b.creditReturns - a.creditReturns;
+        d.skippedQuanta = b.skippedQuanta - a.skippedQuanta;
+        d.localResets = b.localResets - a.localResets;
+        d.tableOccupancy = b.tableOccupancy; // gauge, not a delta
+    }
+    ep.nodes.resize(numNodes_);
+    for (std::size_t n = 0; n < numNodes_; ++n) {
+        ep.nodes[n].bufferOccupancy = buffered_[n]; // gauge
+        ep.nodes[n].flitsEjected = ejected_[n] - lastEjected_[n];
+        ep.nodes[n].packetsDelivered =
+            delivered_[n] - lastDelivered_[n];
+    }
+    epochs_.push_back(std::move(ep));
+    lastLanes_ = cur_;
+    lastEjected_ = ejected_;
+    lastDelivered_ = delivered_;
+    epochStart_ = end;
+}
+
+// ---------------------------------------------------------------------
+// Exports
+// ---------------------------------------------------------------------
+
+std::string
+TelemetryCollector::timeSeriesCsv() const
+{
+    std::string out =
+        "epoch,start_cycle,end_cycle,node,lane,flits_forwarded,"
+        "spec_forwards,missed_slots,lookahead_admits,grants,"
+        "credit_returns,skipped_quanta,local_resets,table_occupancy,"
+        "buffer_occupancy,flits_ejected,packets_delivered\n";
+    for (std::size_t e = 0; e < epochs_.size(); ++e) {
+        const TelemetryEpoch &ep = epochs_[e];
+        for (std::size_t n = 0; n < numNodes_; ++n) {
+            for (std::size_t l = 0; l < kNumLanes; ++l) {
+                const LaneCounters &c =
+                    ep.lanes[n * kNumLanes + l];
+                // Node-level gauges ride on the NI lane row so every
+                // (epoch, node) has them exactly once.
+                const bool node_row = l == kNiLane;
+                const NodeCounters &nc = ep.nodes[n];
+                out += csprintf(
+                    "%zu,%" PRIu64 ",%" PRIu64 ",%zu,%s,%" PRIu64
+                    ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                    ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                    ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
+                    e, ep.start, ep.end, n, laneName(l),
+                    c.flitsForwarded, c.specForwards, c.missedSlots,
+                    c.lookaheadAdmits, c.grants, c.creditReturns,
+                    c.skippedQuanta, c.localResets, c.tableOccupancy,
+                    node_row ? nc.bufferOccupancy : 0,
+                    node_row ? nc.flitsEjected : 0,
+                    node_row ? nc.packetsDelivered : 0);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+TelemetryCollector::chromeTraceJson() const
+{
+    std::string out = "{\"traceEvents\":[";
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+        if (i)
+            out += ",\n";
+        out += trace_[i];
+    }
+    out += csprintf("],\"displayTimeUnit\":\"ms\","
+                    "\"otherData\":{\"dropped_events\":%" PRIu64
+                    ",\"mesh\":\"%ux%u\"}}\n",
+                    traceDropped_, width_, height_);
+    return out;
+}
+
+std::string
+TelemetryCollector::heatmapCsv() const
+{
+    // Cycles observed = the span of all closed epochs.
+    const Cycle cycles =
+        epochs_.empty() ? 0 : epochs_.back().end - epochs_.front().start;
+    const Mesh2D mesh(width_, height_);
+    std::string out;
+    for (std::uint32_t y = 0; y < height_; ++y) {
+        for (std::uint32_t x = 0; x < width_; ++x) {
+            const NodeId n = x + y * width_;
+            std::uint64_t flits = 0;
+            std::uint32_t active = 0;
+            for (std::size_t p = 0; p < kNumPorts; ++p) {
+                const LaneCounters &c = cur_[laneIndex(n, p)];
+                flits += c.flitsForwarded;
+                // Local is always wired; mesh edges lack some ports.
+                const Port port = static_cast<Port>(p);
+                if (port == Port::Local || mesh.hasNeighbor(n, port))
+                    ++active;
+            }
+            const double util =
+                cycles && active
+                    ? static_cast<double>(flits) /
+                          (static_cast<double>(cycles) * active)
+                    : 0.0;
+            out += csprintf("%s%.6f", x ? "," : "", util);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+ReportTable
+TelemetryCollector::classLatencyTable() const
+{
+    ReportTable t("per-class packet latency (cycles)",
+                  {"class", "packets", "mean", "p50", "p90", "p99",
+                   "max"});
+    for (std::size_t c = 0; c < classHist_.size(); ++c) {
+        const LogHistogram &h = classHist_[c];
+        t.addRow({classNames_[c],
+                  static_cast<std::int64_t>(h.count()), h.mean(),
+                  h.percentile(0.50), h.percentile(0.90),
+                  h.percentile(0.99), h.maxSample()});
+    }
+    return t;
+}
+
+ReportTable
+TelemetryCollector::hotLinksTable(std::size_t n) const
+{
+    struct Hot
+    {
+        NodeId node;
+        std::size_t lane;
+        std::uint64_t flits;
+    };
+    std::vector<Hot> hot;
+    for (std::size_t node = 0; node < numNodes_; ++node)
+        for (std::size_t l = 0; l < kNumLanes; ++l) {
+            const std::uint64_t f =
+                cur_[laneIndex(static_cast<NodeId>(node), l)]
+                    .flitsForwarded;
+            if (f)
+                hot.push_back(
+                    {static_cast<NodeId>(node), l, f});
+        }
+    std::stable_sort(hot.begin(), hot.end(),
+                     [](const Hot &a, const Hot &b) {
+                         return a.flits > b.flits;
+                     });
+    if (hot.size() > n)
+        hot.resize(n);
+    ReportTable t("hottest links (flits forwarded, full run)",
+                  {"node", "lane", "flits"});
+    for (const Hot &h : hot)
+        t.addRow({static_cast<std::int64_t>(h.node),
+                  std::string(laneName(h.lane)),
+                  static_cast<std::int64_t>(h.flits)});
+    return t;
+}
+
+} // namespace noc

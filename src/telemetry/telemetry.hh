@@ -1,0 +1,291 @@
+/**
+ * @file
+ * In-network telemetry: a passive NetObserver + Clocked collector that
+ * turns the instrumentation event stream (net/instrument.hh) into
+ *
+ *  - per-router-port time-series counters sampled on a configurable
+ *    epoch: link utilization (data flits forwarded), speculative-switch
+ *    hits (early forwards) and misses (missed switching slots),
+ *    look-ahead admissions into the input reservation tables, LSF slot
+ *    grants, virtual-credit returns, FRS skipped(i) yields, local
+ *    status resets, and reservation-table / input-buffer occupancy
+ *    gauges;
+ *  - per-flow and per-QoS-class packet-latency histograms
+ *    (log-bucketed, p50/p90/p99/max) gated to the same measurement
+ *    window as MetricsCollector so the two agree packet for packet;
+ *  - a Chrome trace-event JSON (loadable in Perfetto / about:tracing)
+ *    of packet lifecycle spans keyed by packet id, optionally with
+ *    per-flit hop instants;
+ *  - CSV exports: the epoch time series and a width x height
+ *    link-utilization heatmap.
+ *
+ * Like the auditor, the collector only observes — an instrumented run
+ * is cycle-for-cycle identical to a bare one — and in builds with
+ * -DLOFT_AUDIT=OFF it is never constructed because the hook sites it
+ * feeds from are compiled out. See docs/TELEMETRY.md for the export
+ * schemas.
+ */
+
+#ifndef NOC_TELEMETRY_TELEMETRY_HH
+#define NOC_TELEMETRY_TELEMETRY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/metrics.hh"
+#include "net/network.hh"
+#include "sim/clocked.hh"
+#include "sim/report.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace noc
+{
+
+/** Knobs of the telemetry collector (harness: RunConfig::telemetry). */
+struct TelemetryConfig
+{
+    /** Attach a TelemetryCollector to the run (harness flag). */
+    bool enabled = false;
+    /** Sampling period of the time-series counters, in cycles. */
+    Cycle epochCycles = 1000;
+    /** Emit packet lifecycle spans into the Chrome trace. */
+    bool tracePackets = true;
+    /** Also emit one instant event per flit forward (verbose). */
+    bool traceFlits = false;
+    /** Hard cap on buffered trace events; overflow is counted. */
+    std::size_t maxTraceEvents = 200000;
+};
+
+/**
+ * Counters of one (router, lane) pair accumulated over one epoch.
+ * Lanes 0..kNumPorts-1 are the router's ports; lane kNiLane is the
+ * node's network interface (its source scheduler and injection link).
+ * Forward-side counters are keyed by the *output* port of the event;
+ * lookaheadAdmits is keyed by the *input* port it arrived on.
+ */
+struct LaneCounters
+{
+    std::uint64_t flitsForwarded = 0; ///< data flits sent out the lane
+    std::uint64_t specForwards = 0;   ///< thereof speculative (early)
+    std::uint64_t missedSlots = 0;    ///< scheduled slots missed
+    std::uint64_t lookaheadAdmits = 0;
+    std::uint64_t grants = 0;         ///< LSF slot grants
+    std::uint64_t creditReturns = 0;  ///< virtual credits returned
+    std::uint64_t skippedQuanta = 0;  ///< FRS skipped(i) yields
+    std::uint64_t localResets = 0;
+    /** Live bookings in the lane's output reservation table, sampled
+     *  at the epoch close (a gauge, not a delta). */
+    std::uint64_t tableOccupancy = 0;
+};
+
+/** Node-level values of one epoch. */
+struct NodeCounters
+{
+    /** Data flits buffered in the router, sampled at the epoch close. */
+    std::uint64_t bufferOccupancy = 0;
+    std::uint64_t flitsEjected = 0;   ///< delta over the epoch
+    std::uint64_t packetsDelivered = 0;
+};
+
+/** One closed sampling epoch: [start, end) in cycles. */
+struct TelemetryEpoch
+{
+    Cycle start = 0;
+    Cycle end = 0;
+    /** node-major, lane-minor; size numNodes * kNumLanes. */
+    std::vector<LaneCounters> lanes;
+    std::vector<NodeCounters> nodes;
+};
+
+class TelemetryCollector : public NetObserver, public Clocked
+{
+  public:
+    /** Lane index of the network interface (after the router ports). */
+    static constexpr std::size_t kNiLane = kNumPorts;
+    /** Lanes per node: the kNumPorts router ports plus the NI. */
+    static constexpr std::size_t kNumLanes = kNumPorts + 1;
+
+    /**
+     * @param mesh     topology (dimensions are baked into exports).
+     * @param config   sampling / tracing knobs.
+     * @param class_of QoS class per FlowId (index = flow id); flows
+     *                 beyond the vector fall into class 0.
+     * @param class_names printable names parallel to the class ids
+     *                 (missing entries are synthesized as "class<i>").
+     */
+    TelemetryCollector(const Mesh2D &mesh, TelemetryConfig config = {},
+                       std::vector<std::uint32_t> class_of = {},
+                       std::vector<std::string> class_names = {});
+
+    /** Install on @p net (directly or behind an ObserverMux). */
+    const TelemetryConfig &config() const { return cfg_; }
+
+    /// @name Measurement window (mirrors MetricsCollector)
+    /// @{
+    void startMeasurement(Cycle now);
+    void stopMeasurement(Cycle now);
+    /// @}
+
+    /** Close the trailing partial epoch; call once after the run. */
+    void finish(Cycle now);
+
+    /// @name Results
+    /// @{
+    const std::vector<TelemetryEpoch> &epochs() const { return epochs_; }
+    std::size_t numNodes() const { return numNodes_; }
+    std::uint32_t meshWidth() const { return width_; }
+    std::uint32_t meshHeight() const { return height_; }
+
+    /** Full-run cumulative counters of one lane. */
+    const LaneCounters &lane(NodeId node, std::size_t lane) const;
+
+    /** In-window per-flow ejection counts (conservation checks). */
+    std::uint64_t windowFlits(FlowId flow) const;
+    std::uint64_t windowPackets(FlowId flow) const;
+    std::uint64_t windowTotalFlits() const { return windowTotalFlits_; }
+    std::uint64_t windowTotalPackets() const
+    {
+        return windowTotalPackets_;
+    }
+
+    /** In-window latency distribution of one flow / one class / all. */
+    const LogHistogram &flowLatency(FlowId flow) const;
+    const LogHistogram &classLatency(std::uint32_t cls) const;
+    const LogHistogram &allLatency() const { return allLatency_; }
+    std::size_t numClasses() const { return classHist_.size(); }
+    const std::string &className(std::uint32_t cls) const
+    {
+        return classNames_.at(cls);
+    }
+
+    std::uint64_t traceEventsDropped() const { return traceDropped_; }
+    std::uint64_t traceEventsRecorded() const { return trace_.size(); }
+    /// @}
+
+    /// @name Exports (see docs/TELEMETRY.md for the schemas)
+    /// @{
+
+    /** Epoch time series, one row per (epoch, node, lane). */
+    std::string timeSeriesCsv() const;
+
+    /** Chrome trace-event JSON (Perfetto / about:tracing loadable). */
+    std::string chromeTraceJson() const;
+
+    /**
+     * width x height grid of per-node output-link utilization in
+     * [0, 1]: flits forwarded over all router output ports divided by
+     * (active ports x cycles observed). Row 0 is y = 0.
+     */
+    std::string heatmapCsv() const;
+
+    /** Per-QoS-class latency summary (p50/p90/p99/max/mean). */
+    ReportTable classLatencyTable() const;
+
+    /** The @p n busiest (node, lane) pairs by flits forwarded. */
+    ReportTable hotLinksTable(std::size_t n = 10) const;
+    /// @}
+
+    // Clocked: closes sampling epochs.
+    void tick(Cycle now) override;
+
+    // NetObserver
+    void onPacketAccepted(NodeId node, const Packet &pkt,
+                          Cycle now) override;
+    void onFlitSourced(NodeId node, const Flit &flit, bool spec,
+                       Cycle now) override;
+    void onFlitArrived(NodeId node, Port in, const Flit &flit, bool spec,
+                       Cycle now) override;
+    void onFlitForwarded(NodeId node, Port out, const Flit &flit,
+                         bool spec, Cycle now) override;
+    void onFlitEjected(NodeId node, const Flit &flit, Cycle now) override;
+    void onPacketDelivered(NodeId node, FlowId flow, PacketId pkt,
+                           Cycle now) override;
+    void onLookaheadAdmitted(NodeId node, Port in, const LookaheadFlit &la,
+                             Cycle now) override;
+    void onMissedSlot(NodeId node, Port out, Cycle now) override;
+    void onSchedGrant(const OutputScheduler &sched, FlowId flow,
+                      std::uint64_t quantum_no, Slot abs_slot,
+                      std::uint64_t frame, Cycle now) override;
+    void onSchedSkipped(const OutputScheduler &sched, FlowId flow,
+                        std::uint32_t quanta, std::uint64_t frame,
+                        Cycle now) override;
+    void onSchedCreditReturn(const OutputScheduler &sched,
+                             Slot abs_slot) override;
+    void onSchedLocalReset(const OutputScheduler &sched,
+                           Cycle now) override;
+
+  private:
+    /** A packet between acceptance and delivery. */
+    struct LivePacket
+    {
+        FlowId flow = kInvalidFlow;
+        NodeId src = kInvalidNode;
+        NodeId dst = kInvalidNode;
+        Cycle accepted = 0;
+    };
+
+    std::size_t laneIndex(NodeId node, std::size_t lane) const
+    {
+        return static_cast<std::size_t>(node) * kNumLanes + lane;
+    }
+    LaneCounters &laneRef(NodeId node, std::size_t lane)
+    {
+        return cur_[laneIndex(node, lane)];
+    }
+
+    /** Resolve a scheduler to its (node, lane) from its name; cached. */
+    std::size_t schedLane(const OutputScheduler &sched);
+
+    std::uint32_t classOfFlow(FlowId flow) const;
+    void closeEpoch(Cycle end);
+    void traceEvent(std::string json);
+
+    std::uint32_t width_;
+    std::uint32_t height_;
+    std::size_t numNodes_;
+    TelemetryConfig cfg_;
+
+    /// Cumulative (full-run) counters; epochs snapshot deltas.
+    std::vector<LaneCounters> cur_;
+    std::vector<LaneCounters> lastLanes_;
+    std::vector<std::uint64_t> buffered_;       ///< per-node gauge
+    std::vector<std::uint64_t> ejected_;        ///< per-node cumulative
+    std::vector<std::uint64_t> delivered_;      ///< per-node cumulative
+    std::vector<std::uint64_t> lastEjected_;
+    std::vector<std::uint64_t> lastDelivered_;
+    std::vector<TelemetryEpoch> epochs_;
+    Cycle epochStart_ = 0;
+    bool finished_ = false;
+
+    std::unordered_map<const OutputScheduler *, std::size_t> schedLanes_;
+
+    /// Measurement window state (latency + conservation).
+    bool measuring_ = false;
+    Cycle windowStart_ = 0;
+    Cycle windowEnd_ = 0;
+    std::vector<std::uint32_t> classOf_;
+    std::vector<std::string> classNames_;
+    std::vector<LogHistogram> classHist_;
+    std::map<FlowId, LogHistogram> flowHist_;
+    LogHistogram allLatency_{kLatencyHistLo, kLatencyHistHi,
+                             kLatencyHistBuckets};
+    /// Flow-indexed, grown on demand (flow ids are small and dense).
+    std::vector<std::uint64_t> windowFlits_;
+    std::vector<std::uint64_t> windowPackets_;
+    std::uint64_t windowTotalFlits_ = 0;
+    std::uint64_t windowTotalPackets_ = 0;
+
+    /// Packet lifecycle tracking (latency source + trace spans).
+    std::unordered_map<PacketId, LivePacket> live_;
+
+    std::vector<std::string> trace_; ///< complete JSON event objects
+    std::uint64_t traceDropped_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_TELEMETRY_TELEMETRY_HH

@@ -162,5 +162,42 @@ TEST(Determinism, DifferentSeedsProduceDifferentRuns)
     EXPECT_NE(a, b);
 }
 
+RunResult
+telemetryDeterminismRun(std::uint64_t seed)
+{
+    Mesh2D mesh(4, 4);
+    TrafficPattern p = uniformPattern(mesh);
+    setEqualSharesByMaxFlows(p.flows, 16);
+    RunConfig c = miniLoft(seed);
+    c.telemetry.enabled = true;
+    c.telemetry.epochCycles = 500;
+    return runExperiment(c, p, 0.2);
+}
+
+TEST(Determinism, TelemetryExportsAreByteIdenticalForSameSeed)
+{
+    if (!kAuditCompiledIn)
+        GTEST_SKIP() << "instrumentation compiled out";
+
+    const RunResult a = telemetryDeterminismRun(42);
+    const RunResult b = telemetryDeterminismRun(42);
+    ASSERT_NE(a.telemetry, nullptr);
+    ASSERT_NE(b.telemetry, nullptr);
+    EXPECT_EQ(a.telemetry->timeSeriesCsv(), b.telemetry->timeSeriesCsv());
+    EXPECT_EQ(a.telemetry->chromeTraceJson(),
+              b.telemetry->chromeTraceJson());
+    EXPECT_EQ(a.telemetry->heatmapCsv(), b.telemetry->heatmapCsv());
+}
+
+TEST(Determinism, TelemetryObservationDoesNotPerturbTheRun)
+{
+    // The fingerprint of an instrumented run matches the bare run's:
+    // attaching the collector must not change a single metric.
+    const std::string bare = fingerprint(determinismRun(42));
+    const std::string instrumented =
+        fingerprint(telemetryDeterminismRun(42));
+    EXPECT_EQ(bare, instrumented);
+}
+
 } // namespace
 } // namespace noc
