@@ -66,14 +66,26 @@ runGeometry(const GeoCase &gc)
     Mesh2D mesh(8, 8);
     TrafficPattern hot = hotspotPattern(mesh, 63);
     setEqualSharesByMaxFlows(hot.flows, 64);
-    const RunResult rh = runExperiment(c, hot, 0.5);
+    TrafficPattern patho = pathologicalPattern(mesh);
+    setEqualSharesByMaxFlows(patho.flows, 64);
+
+    // Both workloads run concurrently on the sweep engine: the load
+    // doubles as the workload selector (hotspot @0.5, patho @0.95).
+    SweepConfig sc;
+    sc.base = c;
+    sc.loads = {0.5, 0.95};
+    sc.threads = noc::bench::benchThreads();
+    const SweepResults sweep =
+        runSweep(sc, [&](const SweepCase &cs) {
+            return cs.load == 0.5 ? hot : patho;
+        });
+
+    const RunResult &rh = sweep.results[0];
     out.fairnessRsd = summarizeFairness(rh.flowThroughput).rsd;
     out.hotspotTotal = rh.networkThroughput * mesh.numNodes();
     out.hotspotWorstLatency = rh.maxPacketLatency;
 
-    TrafficPattern patho = pathologicalPattern(mesh);
-    setEqualSharesByMaxFlows(patho.flows, 64);
-    const RunResult rp = runExperiment(c, patho, 0.95);
+    const RunResult &rp = sweep.results[1];
     for (std::size_t i = 0; i < patho.flows.size(); ++i) {
         if (patho.groups[i] == 1)
             out.strippedThroughput = rp.flowThroughput[i];

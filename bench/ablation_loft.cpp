@@ -55,16 +55,28 @@ runVariant(const RunConfig &config)
 
     TrafficPattern uni = uniformPattern(mesh);
     setEqualSharesByMaxFlows(uni.flows, 64);
-    const RunResult ru = runExperiment(config, uni, 0.45);
+    TrafficPattern patho = pathologicalPattern(mesh);
+    setEqualSharesByMaxFlows(patho.flows, 64);
+
+    // Both workloads run concurrently on the sweep engine: the load
+    // doubles as the workload selector (uniform @0.45, patho @0.95).
+    SweepConfig sc;
+    sc.base = config;
+    sc.loads = {0.45, 0.95};
+    sc.threads = noc::bench::benchThreads();
+    const SweepResults sweep =
+        runSweep(sc, [&](const SweepCase &cs) {
+            return cs.load == 0.45 ? uni : patho;
+        });
+
+    const RunResult &ru = sweep.results[0];
     out.uniformThroughput = ru.networkThroughput;
     out.uniformLatency = ru.avgPacketLatency;
     out.violations = ru.anomalyViolations;
     out.resets = ru.localResets;
     out.specForwards = ru.speculativeForwards;
 
-    TrafficPattern patho = pathologicalPattern(mesh);
-    setEqualSharesByMaxFlows(patho.flows, 64);
-    const RunResult rp = runExperiment(config, patho, 0.95);
+    const RunResult &rp = sweep.results[1];
     for (std::size_t i = 0; i < patho.flows.size(); ++i) {
         if (patho.groups[i] == 1)
             out.strippedThroughput = rp.flowThroughput[i];

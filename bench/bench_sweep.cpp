@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Sweep-engine throughput bench: runs a fixed cross-network parameter
+ * sweep (3 kinds x 2 loads x 4 seeds on a 4x4 mesh) once serially and
+ * once on a worker pool, verifies the two executions are bit-identical
+ * (the engine's core guarantee), and reports runs/sec, simulated
+ * cycles/sec and p50/p99 per-run wall time for both.
+ *
+ * With --json PATH the report is written as BENCH_sweep.json for the
+ * CI regression gate (scripts/check_bench.py compares it against
+ * bench/baselines/BENCH_sweep.json; see docs/BENCH.md).
+ *
+ * Usage: bench_sweep [--threads N] [--json PATH]
+ */
+
+#include <cstring>
+#include <string>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace noc;
+using noc::bench::benchThreads;
+
+SweepConfig
+benchSweepConfig(unsigned threads)
+{
+    RunConfig base;
+    base.meshWidth = 4;
+    base.meshHeight = 4;
+    base.warmupCycles = 1500;
+    base.measureCycles = 4000;
+    base.loft.frameSizeFlits = 64;
+    base.loft.centralBufferFlits = 64;
+    base.loft.specBufferFlits = 8;
+    base.loft.maxFlows = 16;
+    base.loft.sourceQueueFlits = 32;
+    // Measure the simulation hot path, not the invariant auditor.
+    base.audit = false;
+    base.applyEnvScale();
+
+    SweepConfig sc;
+    sc.base = base;
+    sc.kinds = {NetKind::Loft, NetKind::Gsf, NetKind::Wormhole};
+    sc.loads = {0.1, 0.3};
+    sc.seeds = {1, 2, 3, 4};
+    sc.threads = threads;
+    return sc;
+}
+
+void
+printSummary(const char *label, const SweepSummary &s)
+{
+    std::printf("%-8s threads=%-2u wall=%7.3fs runs/s=%7.2f "
+                "cycles/s=%.3g p50=%.1fms p99=%.1fms\n",
+                label, s.threadsUsed, s.wallSeconds, s.runsPerSecond,
+                s.cyclesPerSecond, s.p50RunSeconds * 1e3,
+                s.p99RunSeconds * 1e3);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned threads = benchThreads();
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--threads N] [--json PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (threads < 1)
+        threads = 1;
+
+    Mesh2D mesh(4, 4);
+    TrafficPattern pattern = uniformPattern(mesh);
+    setEqualSharesByMaxFlows(pattern.flows, 16);
+    const auto factory = [&](const SweepCase &) { return pattern; };
+
+    SweepConfig serial_cfg = benchSweepConfig(1);
+    SweepConfig parallel_cfg = benchSweepConfig(threads);
+
+    std::printf("bench_sweep: %zu cases (3 kinds x 2 loads x 4 "
+                "seeds), 4x4 mesh\n",
+                expandSweep(serial_cfg).size());
+
+    const SweepResults serial = runSweep(serial_cfg, factory);
+    const SweepResults parallel = runSweep(parallel_cfg, factory);
+
+    printSummary("serial", serial.summary);
+    printSummary("parallel", parallel.summary);
+
+    const bool identical =
+        sweepFingerprint(serial) == sweepFingerprint(parallel);
+    const double speedup =
+        parallel.summary.wallSeconds > 0.0
+            ? serial.summary.wallSeconds / parallel.summary.wallSeconds
+            : 0.0;
+    std::printf("speedup: %.2fx   parallel == serial: %s\n", speedup,
+                identical ? "yes" : "NO (BUG)");
+
+    if (!json_path.empty()) {
+        noc::bench::Json config;
+        config.set("cases",
+                   static_cast<std::uint64_t>(serial.cases.size()))
+            .set("mesh", "4x4")
+            .set("warmup_cycles", static_cast<std::uint64_t>(
+                                      serial_cfg.base.warmupCycles))
+            .set("measure_cycles", static_cast<std::uint64_t>(
+                                       serial_cfg.base.measureCycles));
+        noc::bench::Json report;
+        report.set("bench", "bench_sweep")
+            .set("schema", std::uint64_t(1))
+            .set("config", config)
+            .set("serial", noc::bench::summaryJson(serial.summary))
+            .set("parallel", noc::bench::summaryJson(parallel.summary))
+            .set("speedup", speedup)
+            .set("identical", identical);
+        if (!noc::bench::writeJsonFile(json_path, report)) {
+            std::fprintf(stderr, "bench_sweep: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    // A parallel/serial divergence is a correctness bug, not a perf
+    // number: fail loudly so CI catches it even without the checker.
+    return identical ? 0 : 1;
+}

@@ -62,7 +62,8 @@ runCase(const std::string &title, const TrafficPattern &pattern)
 {
     RunConfig c = loftConfig();
     // Saturating offered load: every flow wants more than its share.
-    const RunResult r = runExperiment(c, pattern, 0.5);
+    const RunResult r =
+        noc::bench::sweepLoads(c, pattern, {0.5}).front();
 
     std::uint32_t num_groups = 0;
     for (auto g : pattern.groups)

@@ -59,8 +59,9 @@ runSweep(const std::string &pattern_name, const std::string &config_name,
 {
     const TrafficPattern p = makePattern(pattern_name == "uniform");
     Series s;
-    for (double load : loads) {
-        const RunResult r = runExperiment(config, p, load);
+    // Load points run on the parallel sweep engine; results come back
+    // in load order and are bit-identical to a serial loop.
+    for (const RunResult &r : noc::bench::sweepLoads(config, p, loads)) {
         s.latency.push_back(r.avgPacketLatency);
         s.throughput.push_back(r.networkThroughput);
     }

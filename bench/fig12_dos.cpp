@@ -48,20 +48,30 @@ runDos(const std::string &name, const RunConfig &config)
     const char *tdir = std::getenv("LOFT_TELEMETRY_DIR");
     Mesh2D mesh(8, 8);
     const TrafficPattern p = dosPattern(mesh);
-    std::vector<DosPoint> series;
-    for (double rate : kAggressorRates) {
+
+    // Aggression points run concurrently on the sweep engine: the case
+    // load is the aggressor rate, the victim stays regulated at 0.2.
+    SweepConfig sc;
+    sc.base = config;
+    sc.loads = kAggressorRates;
+    sc.threads = noc::bench::benchThreads();
+    const SweepResults sweep = runSweep(sc, [&](const SweepCase &cs) {
         std::vector<FlowRate> rates(3);
         rates[0].flitsPerCycle = 0.2; // regulated victim
         rates[0].process = InjectionProcess::Periodic;
-        rates[1].flitsPerCycle = rate;
-        rates[2].flitsPerCycle = rate;
-        RunConfig c = config;
-        if (tdir && rate == kAggressorRates.back()) {
+        rates[1].flitsPerCycle = cs.load;
+        rates[2].flitsPerCycle = cs.load;
+        RunConfig c = cs.config;
+        if (tdir && cs.load == kAggressorRates.back()) {
             c.telemetry.enabled = true;
             c.telemetry.epochCycles = 500;
             c.telemetry.tracePackets = false; // counters only
         }
-        const RunResult r = runExperiment(c, p, rates);
+        return runExperiment(c, p, rates);
+    });
+
+    std::vector<DosPoint> series;
+    for (const RunResult &r : sweep.results) {
         DosPoint pt;
         for (int f = 0; f < 3; ++f) {
             pt.latency[f] = r.flowAvgLatency[f];

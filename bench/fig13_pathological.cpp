@@ -46,8 +46,8 @@ runPatho(const std::string &name, const RunConfig &config)
     TrafficPattern p = pathologicalPattern(mesh);
     setEqualSharesByMaxFlows(p.flows, 64);
     std::vector<PathoPoint> series;
-    for (double rate : kRates) {
-        const RunResult r = runExperiment(config, p, rate);
+    // Rate points run concurrently on the sweep engine, in rate order.
+    for (const RunResult &r : noc::bench::sweepLoads(config, p, kRates)) {
         PathoPoint pt;
         int greys = 0;
         for (std::size_t i = 0; i < p.flows.size(); ++i) {

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for BENCH_*.json reports.
+
+Compares a freshly measured report (bench_sweep --json) against the
+checked-in baseline and fails when a gated throughput metric regressed
+by more than the tolerance. The gate is directional: the current run
+must not be slower than baseline * (1 - tolerance); being faster never
+fails (the report suggests refreshing the baseline when the improvement
+exceeds the tolerance). Absolute numbers are machine-specific, so the
+baseline must have been measured on comparable hardware — CI refreshes
+it via the workflow_dispatch refresh input (see docs/BENCH.md).
+
+Usage:
+    check_bench.py CURRENT BASELINE [--tolerance 0.25]
+                   [--min-speedup X]
+"""
+
+import argparse
+import json
+import sys
+
+# Higher-is-better metrics the gate enforces, as (section, key) pairs.
+GATED = [
+    ("serial", "runs_per_sec"),
+    ("serial", "cycles_per_sec"),
+    ("parallel", "runs_per_sec"),
+    ("parallel", "cycles_per_sec"),
+]
+
+# Reported for context but not gated (too noisy on shared runners).
+INFORMATIONAL = [
+    ("serial", "p50_run_ms"),
+    ("serial", "p99_run_ms"),
+    ("parallel", "p50_run_ms"),
+    ("parallel", "p99_run_ms"),
+]
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="freshly measured BENCH_*.json")
+    ap.add_argument("baseline", help="checked-in baseline BENCH_*.json")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression (default 0.25 = 25%%)",
+    )
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="minimum required parallel-over-serial speedup "
+        "(0 disables; only meaningful on multi-core runners)",
+    )
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+    failures = []
+
+    if cur.get("bench") != base.get("bench"):
+        failures.append(
+            f"bench mismatch: {cur.get('bench')!r} vs "
+            f"{base.get('bench')!r}"
+        )
+    if cur.get("schema") != base.get("schema"):
+        failures.append(
+            f"schema mismatch: {cur.get('schema')!r} vs "
+            f"{base.get('schema')!r} (refresh the baseline)"
+        )
+
+    if not cur.get("identical", False):
+        failures.append(
+            "parallel sweep was NOT bit-identical to serial "
+            "(correctness bug, not a perf regression)"
+        )
+
+    for section, key in GATED:
+        c = cur.get(section, {}).get(key)
+        b = base.get(section, {}).get(key)
+        if c is None or b is None:
+            failures.append(f"{section}.{key}: missing from report")
+            continue
+        floor = b * (1.0 - args.tolerance)
+        ratio = c / b if b else float("inf")
+        verdict = "OK"
+        if c < floor:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{section}.{key}: {c:.3g} < floor {floor:.3g} "
+                f"(baseline {b:.3g}, {ratio:.2f}x)"
+            )
+        elif ratio > 1.0 + args.tolerance:
+            verdict = "IMPROVED (consider refreshing the baseline)"
+        print(
+            f"  {section}.{key:<16} current {c:>12.3g}  "
+            f"baseline {b:>12.3g}  {ratio:>5.2f}x  {verdict}"
+        )
+
+    for section, key in INFORMATIONAL:
+        c = cur.get(section, {}).get(key)
+        b = base.get(section, {}).get(key)
+        if c is not None and b is not None:
+            print(
+                f"  {section}.{key:<16} current {c:>12.3g}  "
+                f"baseline {b:>12.3g}  (informational)"
+            )
+
+    speedup = cur.get("speedup", 0.0)
+    threads = cur.get("parallel", {}).get("threads", 1)
+    print(f"  speedup: {speedup:.2f}x on {threads} threads")
+    if args.min_speedup > 0.0:
+        if threads < 2:
+            print(
+                "  min-speedup check skipped: parallel run used "
+                f"{threads} thread(s)"
+            )
+        elif speedup < args.min_speedup:
+            failures.append(
+                f"speedup {speedup:.2f}x < required "
+                f"{args.min_speedup:.2f}x on {threads} threads"
+            )
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbench check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

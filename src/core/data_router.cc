@@ -110,9 +110,8 @@ LoftDataRouter::schedulePending(Port outp, Cycle now,
     // first. Gather each distinct flow's head entry (pend is ordered
     // by (flow, quantum)), then rotate past the last served flow.
     FlowId &ptr = flowPointer_[portIndex(outp)];
-    std::vector<std::map<std::pair<FlowId, std::uint64_t>,
-                         std::uint64_t>::iterator>
-        heads;
+    auto &heads = headsScratch_;
+    heads.clear();
     for (auto h = pend.begin(); h != pend.end();
          h = pend.upper_bound(std::make_pair(
              h->first.first,
@@ -378,7 +377,7 @@ LoftDataRouter::switchOutputs(Cycle now)
             continue;
         if (op.dnSpecFree == 0)
             continue; // early forwards need speculative buffer space
-        std::vector<bool> req(kNumPorts, false);
+        std::uint64_t req = 0;
         std::array<std::uint64_t, kNumPorts> cand_key{};
         for (std::size_t in = 0; in < kNumPorts; ++in) {
             InputPort &ip = inputs_[in];
@@ -388,7 +387,7 @@ LoftDataRouter::switchOutputs(Cycle now)
                 const QuantumRecord &rec = ip.records.at(key);
                 if (rec.buffered.empty())
                     continue;
-                req[in] = true;
+                req |= std::uint64_t(1) << in;
                 cand_key[in] = key;
                 break; // earliest ready record of this input port
             }
@@ -432,6 +431,35 @@ LoftDataRouter::tick(Cycle now)
     receiveData(now);
     switchOutputs(now);
     maybeLocalReset(now);
+}
+
+bool
+LoftDataRouter::quiescent() const
+{
+    // Inputs: no live or staged quanta, no buffered flits, and nothing
+    // arriving on the data or credit wires.
+    for (const InputPort &ip : inputs_) {
+        if (!ip.records.empty() || !ip.unclaimed.empty())
+            return false;
+        if (ip.nonspecUsed != 0 || ip.specUsed != 0)
+            return false;
+        if (ip.dataIn && !ip.dataIn->empty())
+            return false;
+    }
+    // Outputs: no incoming credits and every scheduler parked (no
+    // bookings, no owed credits, reset done) so advanceTo may lag.
+    for (const OutputPort &op : outputs_) {
+        if (op.actualCreditIn && !op.actualCreditIn->empty())
+            return false;
+        if (op.virtualCreditIn && !op.virtualCreditIn->empty())
+            return false;
+        if (op.dataOut && !op.sched->quiescent())
+            return false;
+    }
+    for (const auto &p : pending_)
+        if (!p.empty())
+            return false;
+    return true;
 }
 
 std::uint64_t

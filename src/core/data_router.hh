@@ -34,7 +34,7 @@
 namespace noc
 {
 
-class LoftDataRouter : public Clocked
+class LoftDataRouter final : public Clocked
 {
   public:
     LoftDataRouter(NodeId id, const Mesh2D &mesh,
@@ -94,6 +94,19 @@ class LoftDataRouter : public Clocked
                          bool &terminal);
 
     void tick(Cycle now) override;
+
+    bool quiescent() const override;
+
+    /** True if any output port has admitted-but-unscheduled quanta
+     *  (the co-located look-ahead router polls this to sleep). */
+    bool
+    hasPendingQuanta() const
+    {
+        for (const auto &p : pending_)
+            if (!p.empty())
+                return true;
+        return false;
+    }
 
     /// @name Stats / introspection
     /// @{
@@ -217,6 +230,12 @@ class LoftDataRouter : public Clocked
         pending_;
     /** Round-robin pointer over flows, per output port. */
     std::array<FlowId, kNumPorts> flowPointer_{};
+
+    /** Scratch for schedulePending's per-flow head iterators (kept as
+     *  a member so the hot path does not allocate every cycle). */
+    std::vector<std::map<std::pair<FlowId, std::uint64_t>,
+                         std::uint64_t>::iterator>
+        headsScratch_;
 
     std::uint64_t emergentForwards_ = 0;
     std::uint64_t specForwards_ = 0;

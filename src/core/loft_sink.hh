@@ -21,7 +21,7 @@
 namespace noc
 {
 
-class LoftSink : public Clocked
+class LoftSink final : public Clocked
 {
   public:
     LoftSink(NodeId node, const LoftParams &params,
@@ -31,6 +31,10 @@ class LoftSink : public Clocked
              MetricsCollector *metrics);
 
     void tick(Cycle now) override;
+
+    /** Idle whenever the ejection wire is empty: per-packet pending
+     *  counts change only on flit receipt. */
+    bool quiescent() const override { return in_->empty(); }
 
     std::uint64_t flitsEjected() const { return flitsEjected_; }
 

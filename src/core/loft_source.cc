@@ -151,13 +151,12 @@ LoftSourceUnit::emitLookahead(Cycle now)
         return;
     // Pick a look-ahead VC with credit; without one we must not
     // schedule yet (the look-ahead flit must precede its data).
-    std::vector<bool> free(params_.laNumVCs, false);
-    bool any = false;
+    std::uint64_t free = 0;
     for (std::uint32_t v = 0; v < params_.laNumVCs; ++v) {
-        free[v] = laCredits_[v] > 0;
-        any = any || free[v];
+        if (laCredits_[v] > 0)
+            free |= std::uint64_t(1) << v;
     }
-    if (!any) {
+    if (!free) {
         ++stallNoLaCredit_;
         return;
     }
@@ -265,6 +264,19 @@ LoftSourceUnit::tick(Cycle now)
     emitLookahead(now);
     forwardData(now);
     maybeLocalReset(now);
+}
+
+bool
+LoftSourceUnit::quiescent() const
+{
+    // Nothing queued, segmented or scheduled-but-unsent; empty credit
+    // wires; and the local-link scheduler parked post-reset (its
+    // advanceTo catch-up replays the skipped frames on wake-up).
+    return queue_.empty() && !pending_ && outbound_.empty() &&
+           (!actualCreditIn_ || actualCreditIn_->empty()) &&
+           (!virtualCreditIn_ || virtualCreditIn_->empty()) &&
+           (!laCreditIn_ || laCreditIn_->empty()) &&
+           sched_.quiescent();
 }
 
 } // namespace noc

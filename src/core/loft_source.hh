@@ -30,7 +30,7 @@
 namespace noc
 {
 
-class LoftSourceUnit : public Clocked
+class LoftSourceUnit final : public Clocked
 {
   public:
     LoftSourceUnit(NodeId node, const LoftParams &params);
@@ -59,6 +59,8 @@ class LoftSourceUnit : public Clocked
     bool enqueue(const Packet &pkt);
 
     void tick(Cycle now) override;
+
+    bool quiescent() const override;
 
     NodeId node() const { return node_; }
     std::uint64_t queuedFlits() const { return queuedFlits_; }

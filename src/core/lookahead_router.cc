@@ -108,13 +108,12 @@ LookaheadRouter::allocateAndSchedule(Cycle now)
         if (outp != portIndex(Port::Local)) {
             if (!op.out)
                 continue;
-            std::vector<bool> vc_free(params_.laNumVCs, false);
-            bool any = false;
+            std::uint64_t vc_free = 0;
             for (std::uint32_t v = 0; v < params_.laNumVCs; ++v) {
-                vc_free[v] = op.credits[v] > 0;
-                any = any || vc_free[v];
+                if (op.credits[v] > 0)
+                    vc_free |= std::uint64_t(1) << v;
             }
-            if (!any)
+            if (!vc_free)
                 continue;
             fwd_vc = op.vcPick.arbitrate(vc_free);
         }
@@ -146,6 +145,27 @@ LookaheadRouter::tick(Cycle now)
     receiveFlits(now);
     admitToTables(now);
     allocateAndSchedule(now);
+}
+
+bool
+LookaheadRouter::quiescent() const
+{
+    // Asleep only with empty wires, drained virtual channels and no
+    // pending quanta in the co-located data router's input tables (the
+    // data router cannot schedule them without this router's
+    // allocateAndSchedule pass).
+    for (const InputPort &ip : inputs_) {
+        if (ip.in && !ip.in->empty())
+            return false;
+        for (const auto &vc : ip.vcs)
+            if (!vc.empty())
+                return false;
+    }
+    for (const OutputPort &op : outputs_) {
+        if (op.creditIn && !op.creditIn->empty())
+            return false;
+    }
+    return !data_->hasPendingQuanta();
 }
 
 std::uint64_t

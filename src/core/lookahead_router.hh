@@ -25,7 +25,7 @@
 namespace noc
 {
 
-class LookaheadRouter : public Clocked
+class LookaheadRouter final : public Clocked
 {
   public:
     LookaheadRouter(NodeId id, const Mesh2D &mesh,
@@ -39,6 +39,8 @@ class LookaheadRouter : public Clocked
                        Channel<LaCredit> *credit_in);
 
     void tick(Cycle now) override;
+
+    bool quiescent() const override;
 
     std::uint64_t bufferedFlits() const;
     std::uint64_t scheduleRetries() const { return retries_; }

@@ -99,6 +99,25 @@ class OutputScheduler
     /** True if the table is empty and no virtual credit is owed. */
     bool canLocalReset() const;
 
+    /**
+     * True if deferring advanceTo() is externally invisible, letting
+     * the owning component skip its tick. Requires no live bookings,
+     * no owed virtual credits and no banked beyond-window returns, so
+     * every credit word sits at the buffer ceiling and frame recycling
+     * is pure renumbering; the catch-up loop in advanceTo() replays
+     * the deferred recycles identically on the next request. With
+     * local status resets enabled we additionally require the reset to
+     * have happened (!dirty()): a post-reset scheduler is pristine, so
+     * sleeping cannot diverge from the reset-every-frame idle baseline.
+     */
+    bool
+    quiescent() const
+    {
+        return bookings_.empty() && outstanding_ == 0 &&
+               futureReturns_.empty() &&
+               (!dirty_ || !params_.localStatusReset);
+    }
+
     /** True if a reset would change anything (grants or frame drift). */
     bool dirty() const { return dirty_; }
 

@@ -18,7 +18,13 @@
 namespace noc
 {
 
-class GsfBarrier : public Clocked
+/**
+ * Always active: the barrier advances the frame window on a timer even
+ * when the network is empty (an idle network recycles every delay+1
+ * cycles), and source quotas replenish on those advances. It therefore
+ * keeps Clocked's default quiescent() == false.
+ */
+class GsfBarrier final : public Clocked
 {
   public:
     GsfBarrier(std::uint32_t window_frames, Cycle barrier_delay);

@@ -16,7 +16,7 @@
 namespace noc
 {
 
-class GsfSourceUnit : public SourceUnit
+class GsfSourceUnit final : public SourceUnit
 {
   public:
     GsfSourceUnit(NodeId node, const GsfParams &params,

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Parameter-sweep engine: expands a SweepConfig (cartesian product of
+ * network kinds, offered loads, seeds and named parameter overrides)
+ * into independent RunConfigs and executes them on a pool of worker
+ * threads.
+ *
+ * Every case is fully self-contained — runExperiment builds its own
+ * mesh, network, generator (with a per-run RNG seeded from the case's
+ * RunConfig::seed) and Simulator — so cases share no mutable state and
+ * the engine guarantees that a parallel sweep produces results
+ * bit-identical to a serial one: results are stored by submission
+ * index, never by completion order.
+ */
+
+#ifndef NOC_HARNESS_SWEEP_HH
+#define NOC_HARNESS_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace noc
+{
+
+/** One point on the override axis: a named RunConfig mutation. */
+struct SweepOverride
+{
+    std::string label;
+    std::function<void(RunConfig &)> apply;
+};
+
+/**
+ * The sweep's parameter space. Empty axes collapse to a single point
+ * taken from @ref base (kinds/seeds) or to a neutral value (loads →
+ * {0.0}, overrides → one identity override labelled ""). Expansion
+ * order is kinds (outermost) × overrides × loads × seeds (innermost);
+ * overrides are applied after the kind and seed have been stamped, so
+ * an override may refine anything, including the seed.
+ */
+struct SweepConfig
+{
+    RunConfig base;
+    std::vector<NetKind> kinds;
+    std::vector<double> loads;
+    std::vector<std::uint64_t> seeds;
+    std::vector<SweepOverride> overrides;
+    /** Worker threads; 0 = hardware concurrency, 1 = serial. */
+    unsigned threads = 1;
+};
+
+/** One expanded case: resolved config plus its axis coordinates. */
+struct SweepCase
+{
+    /** Submission index; results[index] holds this case's result. */
+    std::size_t index = 0;
+    NetKind kind = NetKind::Loft;
+    double load = 0.0;
+    std::uint64_t seed = 0;
+    std::size_t overrideIndex = 0;
+    std::string overrideLabel;
+    RunConfig config;
+};
+
+/** Timing summary of one sweep execution. */
+struct SweepSummary
+{
+    double wallSeconds = 0.0;
+    double runsPerSecond = 0.0;
+    /** Simulated cycles (warmup + measure, summed) per wall second. */
+    double cyclesPerSecond = 0.0;
+    /** Per-case wall-time percentiles (seconds). */
+    double p50RunSeconds = 0.0;
+    double p99RunSeconds = 0.0;
+    unsigned threadsUsed = 1;
+};
+
+/** A completed sweep: cases, results (parallel, by index), timing. */
+struct SweepResults
+{
+    std::vector<SweepCase> cases;
+    std::vector<RunResult> results;
+    SweepSummary summary;
+};
+
+/** Expand the cartesian product into submission-ordered cases. */
+std::vector<SweepCase> expandSweep(const SweepConfig &config);
+
+/** Executes one case; must not touch shared mutable state. */
+using SweepRunner = std::function<RunResult(const SweepCase &)>;
+
+/** Builds the traffic pattern for one case (meshes may differ). */
+using PatternFactory = std::function<TrafficPattern(const SweepCase &)>;
+
+/**
+ * Run the sweep: expand, execute each case via @p runner on
+ * config.threads workers, and merge results in submission order.
+ */
+SweepResults runSweep(const SweepConfig &config,
+                      const SweepRunner &runner);
+
+/**
+ * Convenience: each case runs runExperiment with the pattern from
+ * @p make_pattern at a uniform Bernoulli rate of the case's load.
+ */
+SweepResults runSweep(const SweepConfig &config,
+                      const PatternFactory &make_pattern);
+
+/**
+ * Serialize every metric of a run bit-exactly (hexfloat). Two runs
+ * are behaviourally identical iff their fingerprints match; used by
+ * tests and benches to assert parallel/serial equivalence.
+ */
+std::string sweepFingerprint(const RunResult &r);
+
+/** Fingerprint of a whole sweep (all results, in order). */
+std::string sweepFingerprint(const SweepResults &r);
+
+} // namespace noc
+
+#endif // NOC_HARNESS_SWEEP_HH

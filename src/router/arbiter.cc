@@ -45,6 +45,33 @@ RoundRobinArbiter::arbitrate(const std::vector<bool> &requests)
 }
 
 std::size_t
+RoundRobinArbiter::grantAfterMask(std::uint64_t request_mask,
+                                  std::size_t start) const
+{
+    if (request_mask == 0)
+        return npos;
+    // Requests at or after the pointer win first; wrap otherwise.
+    const std::uint64_t upper = request_mask >> start;
+    const std::uint64_t pick = upper ? upper << start : request_mask;
+    return static_cast<std::size_t>(__builtin_ctzll(pick));
+}
+
+std::size_t
+RoundRobinArbiter::arbitrate(std::uint64_t request_mask)
+{
+    if (numInputs_ == 0)
+        return npos;
+    if (numInputs_ > 64)
+        panic("RoundRobinArbiter: mask arbitration beyond 64 inputs");
+    if (numInputs_ < 64 && request_mask >> numInputs_)
+        panic("RoundRobinArbiter: request mask exceeds input count");
+    const std::size_t winner = grantAfterMask(request_mask, pointer_);
+    if (winner != npos)
+        pointer_ = (winner + 1) % numInputs_;
+    return winner;
+}
+
+std::size_t
 RoundRobinArbiter::arbitrate(const std::vector<bool> &requests,
                              const std::vector<std::uint64_t> &keys)
 {

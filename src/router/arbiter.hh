@@ -36,6 +36,13 @@ class RoundRobinArbiter
     std::size_t arbitrate(const std::vector<bool> &requests);
 
     /**
+     * Allocation-free variant for arbiters of at most 64 inputs: bit i
+     * of @p request_mask set means input i requests. Semantically
+     * identical to the vector overload (same pointer update).
+     */
+    std::size_t arbitrate(std::uint64_t request_mask);
+
+    /**
      * Priority arbitration: among requestors, grant the one with the
      * smallest key; break ties round-robin. Keys for non-requestors are
      * ignored.
@@ -48,6 +55,8 @@ class RoundRobinArbiter
   private:
     std::size_t grantAfter(const std::vector<bool> &requests,
                            std::size_t start) const;
+    std::size_t grantAfterMask(std::uint64_t request_mask,
+                               std::size_t start) const;
 
     std::size_t numInputs_;
     std::size_t pointer_ = 0;

@@ -21,7 +21,7 @@
 namespace noc
 {
 
-class SinkUnit : public Clocked
+class SinkUnit final : public Clocked
 {
   public:
     SinkUnit(NodeId node, Channel<WireFlit> *in,
@@ -31,6 +31,9 @@ class SinkUnit : public Clocked
     void setOnEject(std::function<void(const Flit &, Cycle)> cb);
 
     void tick(Cycle now) override;
+
+    /** Idle whenever the ejection wire is empty. */
+    bool quiescent() const override { return in_->empty(); }
 
     std::uint64_t flitsEjected() const { return flitsEjected_; }
 

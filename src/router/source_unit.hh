@@ -45,6 +45,18 @@ class SourceUnit : public Clocked
 
     void tick(Cycle now) override;
 
+    /**
+     * Idle with an empty queue, no packet mid-transmission and no
+     * credits arriving. Holds for GSF too: the frame-quota hook
+     * (allowStart) is consulted only when a queued packet exists.
+     */
+    bool
+    quiescent() const override
+    {
+        return !sending_ && queue_.empty() &&
+               (!creditIn_ || creditIn_->empty());
+    }
+
     /** Flits waiting in the source queue (current packet included). */
     std::uint64_t queuedFlits() const { return queuedFlits_; }
 

@@ -130,8 +130,10 @@ WormholeRouter::switchAllocAndTraverse(Cycle now)
     hasCandidate.fill(false);
 
     for (std::size_t p = 0; p < kNumPorts; ++p) {
-        std::vector<bool> req(params_.numVCs, false);
-        std::vector<std::uint64_t> keys(params_.numVCs, 0);
+        std::vector<bool> &req = reqScratch_;
+        std::vector<std::uint64_t> &keys = keyScratch_;
+        req.assign(params_.numVCs, false);
+        keys.assign(params_.numVCs, 0);
         for (std::uint32_t vc = 0; vc < params_.numVCs; ++vc) {
             const InputVC &v = ivc(p, vc);
             if (v.state != VCState::Active || v.buffer.empty())
@@ -158,8 +160,10 @@ WormholeRouter::switchAllocAndTraverse(Cycle now)
     for (std::size_t outp = 0; outp < kNumPorts; ++outp) {
         if (!out_[outp])
             continue;
-        std::vector<bool> req(kNumPorts, false);
-        std::vector<std::uint64_t> keys(kNumPorts, 0);
+        std::vector<bool> &req = reqScratch_;
+        std::vector<std::uint64_t> &keys = keyScratch_;
+        req.assign(kNumPorts, false);
+        keys.assign(kNumPorts, 0);
         for (std::size_t p = 0; p < kNumPorts; ++p) {
             if (!hasCandidate[p])
                 continue;
@@ -209,8 +213,10 @@ WormholeRouter::vcAlloc(Cycle now)
         if (!out_[outp])
             continue;
         // Collect requestors targeting this output port.
-        std::vector<bool> req(kNumPorts * params_.numVCs, false);
-        std::vector<std::uint64_t> keys(kNumPorts * params_.numVCs, 0);
+        std::vector<bool> &req = reqScratch_;
+        std::vector<std::uint64_t> &keys = keyScratch_;
+        req.assign(kNumPorts * params_.numVCs, false);
+        keys.assign(kNumPorts * params_.numVCs, 0);
         bool any = false;
         for (std::size_t p = 0; p < kNumPorts; ++p) {
             for (std::uint32_t vc = 0; vc < params_.numVCs; ++vc) {
@@ -266,6 +272,22 @@ WormholeRouter::routeCompute(Cycle now)
             v.state = VCState::VCWait;
         }
     }
+}
+
+bool
+WormholeRouter::quiescent() const
+{
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+        if (in_[p] && !in_[p]->empty())
+            return false;
+        if (creditIn_[p] && !creditIn_[p]->empty())
+            return false;
+    }
+    for (const InputVC &v : inputVCs_) {
+        if (v.state != VCState::Idle || !v.buffer.empty())
+            return false;
+    }
+    return true;
 }
 
 std::uint64_t

@@ -60,7 +60,7 @@ using FlitPriorityFn = std::function<std::uint64_t(const Flit &)>;
  * One mesh router. The owner wires up the channel endpoints; ports
  * without a neighbour keep null channels and are skipped.
  */
-class WormholeRouter : public Clocked
+class WormholeRouter final : public Clocked
 {
   public:
     WormholeRouter(NodeId id, const Mesh2D &mesh,
@@ -83,6 +83,16 @@ class WormholeRouter : public Clocked
     void setObserver(NetObserver *obs) { observer_ = obs; }
 
     void tick(Cycle now) override;
+
+    /**
+     * Idle when no wire has pending traffic and every input VC is
+     * drained back to Idle. An Active VC with an empty buffer (packet
+     * body still in flight upstream) keeps the router awake so its
+     * allocated output VC is eventually released; a `draining` output
+     * VC on its own is safe to sleep with — only a credit arrival can
+     * complete the drain, and that wakes us via creditIn_.
+     */
+    bool quiescent() const override;
 
     /** Flits buffered inside this router (all input VCs). */
     std::uint64_t bufferedFlits() const;
@@ -160,6 +170,10 @@ class WormholeRouter : public Clocked
     std::array<RoundRobinArbiter, kNumPorts> outputArb_;
     /** Per-output-port arbitration for VC allocation. */
     std::array<RoundRobinArbiter, kNumPorts> vcArb_;
+
+    /** Per-cycle allocation scratch, hoisted out of the tick path. */
+    std::vector<bool> reqScratch_;
+    std::vector<std::uint64_t> keyScratch_;
 
     NetObserver *observer_ = nullptr;
 };

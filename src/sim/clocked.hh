@@ -25,6 +25,26 @@ class Clocked
 
     /** Perform this cycle's work. @param now the current cycle. */
     virtual void tick(Cycle now) = 0;
+
+    /**
+     * True if tick() would be a no-op this cycle AND every following
+     * cycle until some other component sends this one a message.
+     *
+     * The contract, precisely: while quiescent() holds, skipping tick()
+     * must leave the component in a state externally indistinguishable
+     * from having ticked (same messages sent — none — and same
+     * responses to later input). Because components communicate only
+     * through latency >= 1 channels, a component whose inbound channels
+     * are all empty and whose internal work queues are drained can
+     * safely sleep; it is re-polled every cycle, so the first cycle an
+     * inbound channel becomes non-empty it wakes before the message is
+     * deliverable.
+     *
+     * Components with autonomous time-driven behaviour (e.g. the GSF
+     * frame barrier, which recycles frames on a timer even when idle)
+     * must keep the default and stay always-active.
+     */
+    virtual bool quiescent() const { return false; }
 };
 
 } // namespace noc

@@ -1,10 +1,12 @@
 #include "sim/debug.hh"
 
 #include <array>
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 #include "sim/logging.hh"
 
@@ -18,7 +20,12 @@ constexpr auto kNum =
     static_cast<std::size_t>(Category::NumCategories);
 
 std::array<bool, kNum> g_enabled{};
-bool g_parsedEnv = false;
+// The parallel sweep runner calls enabled() from worker threads, so
+// the lazy environment parse must be race-free: the flag is flipped
+// with release ordering only after g_enabled is fully written, and a
+// mutex serialises the (rare) first-use parse.
+std::atomic<bool> g_parsedEnv{false};
+std::mutex g_parseMutex;
 
 } // namespace
 
@@ -40,7 +47,6 @@ categoryName(Category c)
 void
 configure(const std::string &spec)
 {
-    g_parsedEnv = true;
     g_enabled.fill(false);
     std::size_t pos = 0;
     while (pos <= spec.size()) {
@@ -68,6 +74,7 @@ configure(const std::string &spec)
             break;
         pos = comma + 1;
     }
+    g_parsedEnv.store(true, std::memory_order_release);
 }
 
 void
@@ -80,8 +87,11 @@ configureFromEnv()
 bool
 enabled(Category c)
 {
-    if (!g_parsedEnv)
-        configureFromEnv();
+    if (!g_parsedEnv.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(g_parseMutex);
+        if (!g_parsedEnv.load(std::memory_order_relaxed))
+            configureFromEnv();
+    }
     return g_enabled[static_cast<std::size_t>(c)];
 }
 

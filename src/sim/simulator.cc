@@ -16,27 +16,61 @@ Simulator::add(Clocked *component)
 void
 Simulator::step()
 {
-    for (Clocked *c : components_)
+    // Poll-based active set: quiescent components skip their tick but
+    // are re-examined every cycle. quiescent() is a cheap state probe
+    // (a few empty() checks) while tick() walks ports, VCs and
+    // reservation tables, so the poll pays for itself whenever any
+    // component idles for more than a handful of cycles.
+    for (Clocked *c : components_) {
+        if (c->quiescent()) {
+            ++ticksSkipped_;
+            continue;
+        }
         c->tick(now_);
+        ++ticksExecuted_;
+    }
     ++now_;
+}
+
+Cycle
+Simulator::runEnd(Cycle cycles) const
+{
+    if (cycles > kNeverCycle - now_)
+        panic("Simulator: now (%llu) + %llu cycles overflows the cycle "
+              "counter",
+              static_cast<unsigned long long>(now_),
+              static_cast<unsigned long long>(cycles));
+    return now_ + cycles;
 }
 
 void
 Simulator::run(Cycle cycles)
 {
-    for (Cycle i = 0; i < cycles; ++i)
+    const Cycle end = runEnd(cycles);
+    while (now_ < end)
         step();
 }
 
 bool
 Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles)
 {
-    for (Cycle i = 0; i < max_cycles; ++i) {
+    const Cycle end = runEnd(max_cycles);
+    while (now_ < end) {
         if (done())
             return true;
         step();
     }
     return done();
+}
+
+std::size_t
+Simulator::activeComponents() const
+{
+    std::size_t n = 0;
+    for (const Clocked *c : components_)
+        if (!c->quiescent())
+            ++n;
+    return n;
 }
 
 } // namespace noc

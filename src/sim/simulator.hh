@@ -6,6 +6,7 @@
 #ifndef NOC_SIM_SIMULATOR_HH
 #define NOC_SIM_SIMULATOR_HH
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -18,6 +19,10 @@ namespace noc
 /**
  * Owns the global cycle counter and drives registered Clocked components.
  * Does not own component lifetimes; networks register their parts.
+ *
+ * Components that report quiescent() (see Clocked) are skipped instead
+ * of ticked; they are re-polled every cycle, so a message landing on an
+ * inbound channel wakes the receiver before the message is deliverable.
  */
 class Simulator
 {
@@ -28,20 +33,44 @@ class Simulator
     /** Current cycle (the cycle about to execute / executing). */
     Cycle now() const { return now_; }
 
-    /** Advance the simulation by @p cycles cycles. */
+    /**
+     * Advance the simulation by @p cycles cycles.
+     * Panics if now() + cycles would overflow the cycle counter.
+     */
     void run(Cycle cycles);
 
     /**
-     * Advance until @p done returns true or @p maxCycles elapse.
+     * Advance until @p done returns true or @p max_cycles elapse. The
+     * predicate is evaluated before every step (including the first).
+     * Panics if now() + max_cycles would overflow the cycle counter.
      * @return true if the predicate fired, false on timeout.
      */
     bool runUntil(const std::function<bool()> &done, Cycle max_cycles);
 
+    /** Number of registered components. */
+    std::size_t numComponents() const { return components_.size(); }
+
+    /** Components that would tick (not quiescent) right now. */
+    std::size_t activeComponents() const;
+
+    /// @name Scheduler effectiveness counters
+    /// @{
+    /** tick() calls actually dispatched. */
+    std::uint64_t ticksExecuted() const { return ticksExecuted_; }
+    /** tick() calls skipped because the component was quiescent. */
+    std::uint64_t ticksSkipped() const { return ticksSkipped_; }
+    /// @}
+
   private:
     void step();
 
+    /** End of the current run window (exclusive); checked by step(). */
+    Cycle runEnd(Cycle cycles) const;
+
     std::vector<Clocked *> components_;
     Cycle now_ = 0;
+    std::uint64_t ticksExecuted_ = 0;
+    std::uint64_t ticksSkipped_ = 0;
 };
 
 } // namespace noc

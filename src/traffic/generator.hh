@@ -37,7 +37,7 @@ struct FlowRate
     InjectionProcess process = InjectionProcess::Bernoulli;
 };
 
-class TrafficGenerator : public Clocked
+class TrafficGenerator final : public Clocked
 {
   public:
     TrafficGenerator(Network &network, std::uint32_t packet_size_flits,
@@ -54,6 +54,14 @@ class TrafficGenerator : public Clocked
     void setUniformRate(double flits_per_cycle);
 
     void tick(Cycle now) override;
+
+    /**
+     * Idle only with no flows configured. Even a rate-0 Bernoulli flow
+     * draws from the RNG every cycle, so skipping ticks for "all rates
+     * zero" would shift the random stream relative to an always-ticked
+     * run and break bit-identity with pre-existing results.
+     */
+    bool quiescent() const override { return flows_.empty(); }
 
     std::uint64_t packetsOffered() const { return packetsOffered_; }
     std::uint64_t flitsOffered() const { return flitsOffered_; }

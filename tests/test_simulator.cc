@@ -82,5 +82,50 @@ TEST(Simulator, NullComponentPanics)
     EXPECT_DEATH(sim.add(nullptr), "null component");
 }
 
+class Sleeper : public Clocked
+{
+  public:
+    void tick(Cycle) override { ++ticks; }
+    bool quiescent() const override { return asleep; }
+    bool asleep = false;
+    std::uint64_t ticks = 0;
+};
+
+TEST(Simulator, QuiescentComponentsAreSkipped)
+{
+    Simulator sim;
+    Ticker t;
+    Sleeper s;
+    sim.add(&t);
+    sim.add(&s);
+    EXPECT_EQ(sim.numComponents(), 2u);
+
+    sim.run(10);
+    EXPECT_EQ(s.ticks, 10u);
+    EXPECT_EQ(sim.activeComponents(), 2u);
+
+    s.asleep = true;
+    EXPECT_EQ(sim.activeComponents(), 1u);
+    sim.run(10);
+    EXPECT_EQ(s.ticks, 10u);  // skipped while quiescent
+    EXPECT_EQ(t.ticks, 20u);  // others unaffected
+    EXPECT_EQ(sim.ticksExecuted(), 30u);
+    EXPECT_EQ(sim.ticksSkipped(), 10u);
+
+    // Quiescence is re-polled every cycle: waking resumes ticking.
+    s.asleep = false;
+    sim.run(5);
+    EXPECT_EQ(s.ticks, 15u);
+}
+
+TEST(Simulator, RunRefusesCycleCounterOverflow)
+{
+    Simulator sim;
+    sim.run(5);
+    EXPECT_DEATH(sim.run(kNeverCycle), "overflows");
+    EXPECT_DEATH(sim.runUntil([] { return false; }, kNeverCycle),
+                 "overflows");
+}
+
 } // namespace
 } // namespace noc
