@@ -99,6 +99,19 @@ NetworkAuditor::report() const
     if (violationCount() > recorded_.size())
         os << "  ... " << (violationCount() - recorded_.size())
            << " more not recorded\n";
+    for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+        if (!faultsInjected_[k] && !faultsDetected_[k] &&
+            !faultsRecovered_[k]) {
+            continue;
+        }
+        os << "  fault " << faultKindName(static_cast<FaultKind>(k))
+           << ": injected " << faultsInjected_[k] << ", detected "
+           << faultsDetected_[k] << ", recovered " << faultsRecovered_[k]
+           << "\n";
+    }
+    if (flitsDropped_)
+        os << "  flits dropped by recovery give-up: " << flitsDropped_
+           << "\n";
     return os.str();
 }
 
@@ -222,6 +235,44 @@ NetworkAuditor::onFlitEjected(NodeId node, const Flit &flit, Cycle now)
                        node, flit.dst));
     ++deliveredFlits_[flit.flow];
     noteMovement(flit.flow, now);
+}
+
+void
+NetworkAuditor::onFlitDropped(NodeId node, const Flit &flit, Cycle now)
+{
+    // Recovery gave up on the flit's quantum: an accounted exit, not a
+    // conservation leak — retire the ledger entry so drain checks and
+    // the watchdog stay meaningful.
+    auto it = ledger_.find({flit.flow, flit.flitNo});
+    if (it == ledger_.end()) {
+        record(AuditKind::Conservation, now,
+               detailf("flow %u flit %llu dropped at node %u but is "
+                       "unknown to the ledger", flit.flow,
+                       static_cast<unsigned long long>(flit.flitNo),
+                       node));
+    } else {
+        ledger_.erase(it);
+    }
+    ++flitsDropped_;
+    noteMovement(flit.flow, now);
+}
+
+void
+NetworkAuditor::onFaultInjected(FaultKind kind, NodeId, Cycle)
+{
+    ++faultsInjected_[static_cast<std::size_t>(kind)];
+}
+
+void
+NetworkAuditor::onFaultDetected(FaultKind kind, NodeId, Cycle, Cycle)
+{
+    ++faultsDetected_[static_cast<std::size_t>(kind)];
+}
+
+void
+NetworkAuditor::onFaultRecovered(FaultKind kind, NodeId, Cycle, Cycle)
+{
+    ++faultsRecovered_[static_cast<std::size_t>(kind)];
 }
 
 void

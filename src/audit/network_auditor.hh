@@ -101,6 +101,25 @@ class NetworkAuditor : public NetObserver, public Clocked
     std::uint64_t flitsInLedger() const { return ledger_.size(); }
 
     /// @}
+    /// @name Fault-event accounting (fault-injection runs)
+    /// @{
+
+    std::uint64_t faultsInjected(FaultKind k) const
+    {
+        return faultsInjected_[static_cast<std::size_t>(k)];
+    }
+    std::uint64_t faultsDetected(FaultKind k) const
+    {
+        return faultsDetected_[static_cast<std::size_t>(k)];
+    }
+    std::uint64_t faultsRecovered(FaultKind k) const
+    {
+        return faultsRecovered_[static_cast<std::size_t>(k)];
+    }
+    /** Flits retired by recovery give-up (accounted, not leaked). */
+    std::uint64_t flitsDropped() const { return flitsDropped_; }
+
+    /// @}
 
     // Clocked
     void tick(Cycle now) override;
@@ -132,6 +151,12 @@ class NetworkAuditor : public NetObserver, public Clocked
                                Cycle now) override;
     void onSchedLocalReset(const OutputScheduler &sched,
                            Cycle now) override;
+    void onFlitDropped(NodeId node, const Flit &flit, Cycle now) override;
+    void onFaultInjected(FaultKind kind, NodeId node, Cycle now) override;
+    void onFaultDetected(FaultKind kind, NodeId node, Cycle injected_at,
+                         Cycle now) override;
+    void onFaultRecovered(FaultKind kind, NodeId node, Cycle injected_at,
+                          Cycle now) override;
 
   private:
     /** Ledger state of one live flit. */
@@ -190,6 +215,11 @@ class NetworkAuditor : public NetObserver, public Clocked
     std::map<FlowId, std::uint64_t> deliveredFlits_;
     std::vector<Delivery> deliveries_;
     std::uint64_t packetsAccepted_ = 0;
+
+    std::array<std::uint64_t, kNumFaultKinds> faultsInjected_{};
+    std::array<std::uint64_t, kNumFaultKinds> faultsDetected_{};
+    std::array<std::uint64_t, kNumFaultKinds> faultsRecovered_{};
+    std::uint64_t flitsDropped_ = 0;
 
     bool loftProtocol_ = false; ///< look-ahead events seen
     Cycle frameCycles_ = 0;     ///< cycles per data frame (from params)

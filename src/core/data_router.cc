@@ -62,10 +62,18 @@ LoftDataRouter::admitLookahead(Port in, const LookaheadFlit &la,
     if (ip.records.size() >= params_.windowSlots())
         return false;
     const std::uint64_t key = recordKey(la.flow, la.quantumNo);
-    if (ip.records.count(key))
+    if (ip.records.count(key)) {
+        if (params_.recovery.enabled) {
+            // The original look-ahead survived after all (e.g. stalled
+            // long enough for the timeout to re-synthesize it). The
+            // reservation exists; absorb the redundant flit.
+            ++duplicateLookaheads_;
+            return true;
+        }
         panic("router %u: duplicate look-ahead for flow %u quantum %llu",
               id_, la.flow,
               static_cast<unsigned long long>(la.quantumNo));
+    }
     QuantumRecord rec;
     rec.flow = la.flow;
     rec.quantumNo = la.quantumNo;
@@ -86,7 +94,7 @@ LoftDataRouter::admitLookahead(Port in, const LookaheadFlit &la,
     // Claim any data flits that arrived ahead of this admission.
     auto un = ip.unclaimed.find(key);
     if (un != ip.unclaimed.end()) {
-        rec.buffered = std::move(un->second);
+        rec.buffered = std::move(un->second.flits);
         ip.unclaimed.erase(un);
     }
     ip.records.emplace(key, std::move(rec));
@@ -168,6 +176,9 @@ LoftDataRouter::receiveCredits(Cycle now)
     for (auto &out : outputs_) {
         if (out.actualCreditIn) {
             while (auto c = out.actualCreditIn->tryReceive(now)) {
+                if (!acceptCredit(*c, observer_, id_, now,
+                                  creditsDiscarded_))
+                    continue;
                 if (c->spec)
                     ++out.dnSpecFree;
                 else
@@ -179,8 +190,12 @@ LoftDataRouter::receiveCredits(Cycle now)
             }
         }
         if (out.virtualCreditIn) {
-            while (auto c = out.virtualCreditIn->tryReceive(now))
+            while (auto c = out.virtualCreditIn->tryReceive(now)) {
+                if (!acceptCredit(*c, observer_, id_, now,
+                                  creditsDiscarded_))
+                    continue;
                 out.sched->onCreditReturn(c->departSlot);
+            }
         }
     }
 }
@@ -213,7 +228,13 @@ LoftDataRouter::receiveData(Cycle now)
             if (it == ip.records.end()) {
                 // The leading look-ahead is still waiting for a free
                 // input-table entry; stage the flit until it lands.
-                ip.unclaimed[key].push_back(
+                auto [un, staged] = ip.unclaimed.try_emplace(key);
+                if (staged) {
+                    un->second.firstArrival = now;
+                    un->second.nextReissueAt =
+                        now + params_.lookaheadTimeout();
+                }
+                un->second.flits.push_back(
                     BufferedFlit{flit, wf->spec});
                 continue;
             }
@@ -421,6 +442,130 @@ LoftDataRouter::maybeLocalReset(Cycle now)
 }
 
 void
+LoftDataRouter::dropQuantumFlits(std::size_t in,
+                                 std::deque<BufferedFlit> &flits,
+                                 Cycle now)
+{
+    InputPort &ip = inputs_[in];
+    for (BufferedFlit &bf : flits) {
+        if (bf.spec) {
+            if (ip.specUsed == 0)
+                panic("router %u: spec buffer underflow (drop)", id_);
+            --ip.specUsed;
+        } else {
+            if (ip.nonspecUsed == 0)
+                panic("router %u: central buffer underflow (drop)", id_);
+            --ip.nonspecUsed;
+        }
+        if (ip.actualCreditOut)
+            ip.actualCreditOut->send(now, ActualCreditMsg{bf.spec});
+        ++flitsDropped_;
+        NOC_OBSERVE(observer_, onFlitDropped(id_, bf.flit, now));
+    }
+    flits.clear();
+}
+
+void
+LoftDataRouter::recoverLostLookaheads(Cycle now)
+{
+    if (!params_.recovery.enabled)
+        return;
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+        InputPort &ip = inputs_[p];
+        if (ip.unclaimed.empty())
+            continue;
+        recoveryScratch_.clear();
+        for (const auto &[key, u] : ip.unclaimed)
+            if (now >= u.nextReissueAt && !u.flits.empty())
+                recoveryScratch_.push_back(key);
+        for (std::uint64_t key : recoveryScratch_) {
+            auto it = ip.unclaimed.find(key);
+            if (it == ip.unclaimed.end())
+                continue;
+            UnclaimedQuantum &u = it->second;
+            if (u.reissues == 0) {
+                // Timeout fired: the reservation for this data never
+                // materialized — the look-ahead flit must be lost.
+                NOC_OBSERVE(observer_,
+                            onFaultDetected(FaultKind::LookaheadDrop,
+                                            id_, u.firstArrival, now));
+            }
+            if (u.reissues >= params_.recovery.maxReissues) {
+                dropQuantumFlits(p, u.flits, now);
+                ip.unclaimed.erase(it);
+                continue;
+            }
+            ++u.reissues;
+            u.nextReissueAt =
+                now + (params_.recovery.reissueBackoffCycles
+                       << std::min<std::uint32_t>(u.reissues, 6));
+            // Re-synthesize only once the quantum is complete; data
+            // flits of one quantum arrive in order, so the tail marker
+            // or a full quantum's worth of flits closes it.
+            const BufferedFlit &first = u.flits.front();
+            const BufferedFlit &last = u.flits.back();
+            const bool complete =
+                last.flit.quantumLast ||
+                u.flits.size() >= params_.quantumFlits;
+            if (!complete)
+                continue; // retry at the backed-off time
+            LookaheadFlit la;
+            la.flow = first.flit.flow;
+            la.src = first.flit.src;
+            la.dst = first.flit.dst;
+            la.quantumNo = first.flit.quantum;
+            la.quantumFlits =
+                static_cast<std::uint32_t>(u.flits.size());
+            la.firstFlitNo = first.flit.flitNo;
+            la.packet = first.flit.packet;
+            la.createdAt = first.flit.createdAt;
+            la.leadsTail = last.flit.isTail();
+            // The data is already here: backdate the departure slot so
+            // the arrival estimate is immediately satisfied.
+            la.departureSlot = params_.slotOf(u.firstArrival);
+            // admitLookahead claims the staged flits and erases the
+            // unclaimed entry on success; `it` is dead either way.
+            if (admitLookahead(static_cast<Port>(p), la, now, now)) {
+                ++laReissues_;
+                NOC_OBSERVE(observer_,
+                            onFaultRecovered(FaultKind::LookaheadDrop,
+                                             id_, u.firstArrival, now));
+            }
+        }
+    }
+}
+
+void
+LoftDataRouter::scrubStaleRecords(Cycle now)
+{
+    const Cycle timeout = params_.scrubTimeout();
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+        InputPort &ip = inputs_[p];
+        if (ip.records.empty())
+            continue;
+        recoveryScratch_.clear();
+        for (const auto &[key, rec] : ip.records) {
+            if (!rec.scheduled || !rec.buffered.empty())
+                continue;
+            if (rec.forwardedFlits >= rec.expectedFlits)
+                continue; // completes this cycle anyway
+            if (params_.slotStart(rec.departSlot) + timeout <= now)
+                recoveryScratch_.push_back(key);
+        }
+        for (std::uint64_t key : recoveryScratch_) {
+            QuantumRecord &rec = ip.records.at(key);
+            // The remaining data flits of this quantum never arrived
+            // (dropped upstream): reclaim the output slot and the
+            // input-table entry so the tables re-converge.
+            outputs_[portIndex(rec.outPort)].sched->clearBooking(
+                rec.departSlot);
+            eraseRecord(p, rec);
+            ++quantaScrubbed_;
+        }
+    }
+}
+
+void
 LoftDataRouter::tick(Cycle now)
 {
     receiveCredits(now);
@@ -431,6 +576,10 @@ LoftDataRouter::tick(Cycle now)
     receiveData(now);
     switchOutputs(now);
     maybeLocalReset(now);
+    if (params_.recovery.enabled && now >= nextScrubAt_) {
+        nextScrubAt_ = now + params_.scrubPeriod();
+        scrubStaleRecords(now);
+    }
 }
 
 bool

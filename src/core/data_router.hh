@@ -93,6 +93,19 @@ class LoftDataRouter final : public Clocked
     bool schedulePending(Port outp, Cycle now, LookaheadFlit &onward,
                          bool &terminal);
 
+    /**
+     * Recovery sweep for quanta whose leading look-ahead flit was lost
+     * (fault injection): any complete quantum staged unclaimed past the
+     * look-ahead timeout gets a locally synthesized look-ahead flit
+     * re-admitted through the normal FRS path, with bounded retries and
+     * exponential backoff; a quantum that exhausts its retries is
+     * dropped and its buffer space and upstream credits released.
+     * Driven by the co-located look-ahead router's tick (the re-issue
+     * logically happens on the look-ahead plane). No-op unless
+     * params().recovery.enabled.
+     */
+    void recoverLostLookaheads(Cycle now);
+
     void tick(Cycle now) override;
 
     bool quiescent() const override;
@@ -108,6 +121,17 @@ class LoftDataRouter final : public Clocked
         return false;
     }
 
+    /** True if any input port stages flits without a reservation (the
+     *  look-ahead router polls this to keep the re-issue timer alive). */
+    bool
+    hasUnclaimedQuanta() const
+    {
+        for (const auto &ip : inputs_)
+            if (!ip.unclaimed.empty())
+                return true;
+        return false;
+    }
+
     /// @name Stats / introspection
     /// @{
     std::uint64_t bufferedFlits() const;
@@ -116,6 +140,19 @@ class LoftDataRouter final : public Clocked
     std::uint64_t missedSlots() const { return missedSlots_; }
     std::uint64_t localResets() const { return localResets_; }
     std::uint64_t anomalyViolations() const;
+    /** Look-ahead flits re-synthesized after a timeout (recovery). */
+    std::uint64_t lookaheadReissues() const { return laReissues_; }
+    /** Stale scheduled records reclaimed by the table scrub. */
+    std::uint64_t quantaScrubbed() const { return quantaScrubbed_; }
+    /** Data flits dropped after recovery gave up on their quantum. */
+    std::uint64_t flitsDropped() const { return flitsDropped_; }
+    /** Redundant look-ahead flits absorbed (original raced a re-issue). */
+    std::uint64_t duplicateLookaheads() const
+    {
+        return duplicateLookaheads_;
+    }
+    /** Corrupted credit messages discarded by the CRC model. */
+    std::uint64_t creditsDiscarded() const { return creditsDiscarded_; }
     /** Flits transmitted through output port @p p so far. */
     std::uint64_t portFlitsForwarded(Port p) const
     {
@@ -159,6 +196,20 @@ class LoftDataRouter final : public Clocked
         std::deque<BufferedFlit> buffered;
     };
 
+    /**
+     * Flits staged while their look-ahead is missing, plus the
+     * recovery bookkeeping for re-issuing that look-ahead if it never
+     * shows up (lost to a fault).
+     */
+    struct UnclaimedQuantum
+    {
+        std::deque<BufferedFlit> flits;
+        Cycle firstArrival = 0;
+        std::uint32_t reissues = 0;
+        /** Next recovery attempt (first: firstArrival + timeout). */
+        Cycle nextReissueAt = kNeverCycle;
+    };
+
     struct InputPort
     {
         Channel<DataWireFlit> *dataIn = nullptr;
@@ -170,8 +221,7 @@ class LoftDataRouter final : public Clocked
          * free input-table entry (the data plane can outrun a
          * back-pressured look-ahead admission by a few cycles).
          */
-        std::unordered_map<std::uint64_t, std::deque<BufferedFlit>>
-            unclaimed;
+        std::unordered_map<std::uint64_t, UnclaimedQuantum> unclaimed;
         /** Scheduled records by departure slot, per output port. */
         std::array<std::map<Slot, std::uint64_t>, kNumPorts> schedIdx;
         std::uint32_t nonspecUsed = 0;
@@ -203,6 +253,11 @@ class LoftDataRouter final : public Clocked
     void receiveData(Cycle now);
     void switchOutputs(Cycle now);
     void maybeLocalReset(Cycle now);
+    /** Reclaim scheduled records whose data never arrived (recovery). */
+    void scrubStaleRecords(Cycle now);
+    /** Give up on a quantum: free buffers, return upstream credits. */
+    void dropQuantumFlits(std::size_t in, std::deque<BufferedFlit> &flits,
+                          Cycle now);
 
     /** Forward one flit of @p rec through output @p out. */
     void forwardFlit(std::size_t in, QuantumRecord &rec, std::size_t out,
@@ -237,10 +292,19 @@ class LoftDataRouter final : public Clocked
                          std::uint64_t>::iterator>
         headsScratch_;
 
+    /** Scratch key list for the recovery sweeps (avoids allocation). */
+    std::vector<std::uint64_t> recoveryScratch_;
+
     std::uint64_t emergentForwards_ = 0;
     std::uint64_t specForwards_ = 0;
     std::uint64_t missedSlots_ = 0;
     std::uint64_t localResets_ = 0;
+    std::uint64_t laReissues_ = 0;
+    std::uint64_t quantaScrubbed_ = 0;
+    std::uint64_t flitsDropped_ = 0;
+    std::uint64_t duplicateLookaheads_ = 0;
+    std::uint64_t creditsDiscarded_ = 0;
+    Cycle nextScrubAt_ = 0;
     NetObserver *observer_ = nullptr;
 };
 

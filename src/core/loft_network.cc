@@ -10,14 +10,18 @@ namespace noc
 
 template <typename T>
 Channel<T> *
-LoftNetwork::newChannel(std::vector<std::unique_ptr<Channel<T>>> &pool)
+LoftNetwork::newChannel(std::vector<std::unique_ptr<Channel<T>>> &pool,
+                        LinkClass cls, NodeId receiver)
 {
     pool.push_back(std::make_unique<Channel<T>>(params_.linkLatency));
+    if (faults_)
+        faults_->instrument(*pool.back(), cls, receiver);
     return pool.back().get();
 }
 
-LoftNetwork::LoftNetwork(const Mesh2D &mesh, const LoftParams &params)
-    : mesh_(mesh), params_(params)
+LoftNetwork::LoftNetwork(const Mesh2D &mesh, const LoftParams &params,
+                         FaultInjector *faults)
+    : mesh_(mesh), params_(params), faults_(faults)
 {
     params_.validate();
     const std::uint32_t n = mesh.numNodes();
@@ -39,14 +43,18 @@ LoftNetwork::LoftNetwork(const Mesh2D &mesh, const LoftParams &params)
             const NodeId nb = mesh.neighbor(id, p);
             const Port back = oppositePort(p);
 
-            auto *data = newChannel(dataChannels_);
-            auto *act = newChannel(actChannels_);
-            auto *vcr = newChannel(vcrChannels_);
+            // Credits flow opposite the data (nb -> id).
+            auto *data = newChannel(dataChannels_, LinkClass::DataFlit, nb);
+            auto *act =
+                newChannel(actChannels_, LinkClass::ActualCredit, id);
+            auto *vcr =
+                newChannel(vcrChannels_, LinkClass::VirtualCredit, id);
             dataRouters_[id]->connectOutput(p, data, act, vcr);
             dataRouters_[nb]->connectInput(back, data, act, vcr);
 
-            auto *la = newChannel(laChannels_);
-            auto *lac = newChannel(laCredChannels_);
+            auto *la = newChannel(laChannels_, LinkClass::LookaheadFlit, nb);
+            auto *lac =
+                newChannel(laCredChannels_, LinkClass::LookaheadCredit, id);
             laRouters_[id]->connectOutput(p, la, lac);
             laRouters_[nb]->connectInput(back, la, lac);
         }
@@ -56,20 +64,25 @@ LoftNetwork::LoftNetwork(const Mesh2D &mesh, const LoftParams &params)
     for (NodeId id = 0; id < n; ++id) {
         auto src = std::make_unique<LoftSourceUnit>(id, params_);
 
-        auto *data = newChannel(dataChannels_);
-        auto *act = newChannel(actChannels_);
-        auto *vcr = newChannel(vcrChannels_);
+        auto *data = newChannel(dataChannels_, LinkClass::DataFlit, id);
+        auto *act =
+            newChannel(actChannels_, LinkClass::ActualCredit, id);
+        auto *vcr =
+            newChannel(vcrChannels_, LinkClass::VirtualCredit, id);
         src->connectData(data, act, vcr);
         dataRouters_[id]->connectInput(Port::Local, data, act, vcr);
 
-        auto *la = newChannel(laChannels_);
-        auto *lac = newChannel(laCredChannels_);
+        auto *la = newChannel(laChannels_, LinkClass::LookaheadFlit, id);
+        auto *lac =
+            newChannel(laCredChannels_, LinkClass::LookaheadCredit, id);
         src->connectLookahead(la, lac);
         laRouters_[id]->connectInput(Port::Local, la, lac);
 
-        auto *eject = newChannel(dataChannels_);
-        auto *eact = newChannel(actChannels_);
-        auto *evcr = newChannel(vcrChannels_);
+        auto *eject = newChannel(dataChannels_, LinkClass::DataFlit, id);
+        auto *eact =
+            newChannel(actChannels_, LinkClass::ActualCredit, id);
+        auto *evcr =
+            newChannel(vcrChannels_, LinkClass::VirtualCredit, id);
         dataRouters_[id]->connectOutput(Port::Local, eject, eact, evcr);
         sinks_.push_back(std::make_unique<LoftSink>(
             id, params_, eject, eact, evcr, &metrics_));
@@ -146,6 +159,8 @@ void
 LoftNetwork::setObserver(NetObserver *obs)
 {
     for (auto &r : dataRouters_)
+        r->setObserver(obs);
+    for (auto &r : laRouters_)
         r->setObserver(obs);
     for (auto &s : sources_)
         s->setObserver(obs);
@@ -230,6 +245,73 @@ LoftNetwork::totalMissedSlots() const
     std::uint64_t t = 0;
     for (const auto &r : dataRouters_)
         t += r->missedSlots();
+    return t;
+}
+
+std::uint64_t
+LoftNetwork::totalLookaheadReissues() const
+{
+    std::uint64_t t = 0;
+    for (const auto &r : dataRouters_)
+        t += r->lookaheadReissues();
+    return t;
+}
+
+std::uint64_t
+LoftNetwork::totalQuantaScrubbed() const
+{
+    std::uint64_t t = 0;
+    for (const auto &r : dataRouters_)
+        t += r->quantaScrubbed();
+    return t;
+}
+
+std::uint64_t
+LoftNetwork::totalFlitsDropped() const
+{
+    std::uint64_t t = 0;
+    for (const auto &r : dataRouters_)
+        t += r->flitsDropped();
+    return t;
+}
+
+std::uint64_t
+LoftNetwork::totalDuplicateLookaheads() const
+{
+    std::uint64_t t = 0;
+    for (const auto &r : dataRouters_)
+        t += r->duplicateLookaheads();
+    return t;
+}
+
+std::uint64_t
+LoftNetwork::totalCreditsDiscarded() const
+{
+    std::uint64_t t = 0;
+    for (const auto &r : dataRouters_)
+        t += r->creditsDiscarded();
+    for (const auto &r : laRouters_)
+        t += r->creditsDiscarded();
+    for (const auto &s : sources_)
+        t += s->creditsDiscarded();
+    return t;
+}
+
+std::uint64_t
+LoftNetwork::totalLookaheadsLost() const
+{
+    std::uint64_t t = 0;
+    for (const auto &r : laRouters_)
+        t += r->lookaheadsLost();
+    return t;
+}
+
+std::uint64_t
+LoftNetwork::totalCorruptedDeliveries() const
+{
+    std::uint64_t t = 0;
+    for (const auto &s : sinks_)
+        t += s->corruptedDeliveries();
     return t;
 }
 

@@ -15,6 +15,7 @@
 #include "core/loft_sink.hh"
 #include "core/loft_source.hh"
 #include "core/lookahead_router.hh"
+#include "faults/fault_injector.hh"
 #include "net/network.hh"
 
 namespace noc
@@ -23,7 +24,13 @@ namespace noc
 class LoftNetwork : public Network
 {
   public:
-    LoftNetwork(const Mesh2D &mesh, const LoftParams &params);
+    /**
+     * @param faults optional fault injector; when given, every channel
+     *        of both planes is instrumented at construction (the
+     *        injector must outlive the network).
+     */
+    LoftNetwork(const Mesh2D &mesh, const LoftParams &params,
+                FaultInjector *faults = nullptr);
 
     const Mesh2D &mesh() const override { return mesh_; }
     void registerFlows(const std::vector<FlowSpec> &flows) override;
@@ -50,6 +57,14 @@ class LoftNetwork : public Network
     std::uint64_t totalLocalResets() const;
     std::uint64_t totalAnomalyViolations() const;
     std::uint64_t totalMissedSlots() const;
+    /// Recovery counters (all zero in fault-free runs).
+    std::uint64_t totalLookaheadReissues() const;
+    std::uint64_t totalQuantaScrubbed() const;
+    std::uint64_t totalFlitsDropped() const;
+    std::uint64_t totalDuplicateLookaheads() const;
+    std::uint64_t totalCreditsDiscarded() const;
+    std::uint64_t totalLookaheadsLost() const;
+    std::uint64_t totalCorruptedDeliveries() const;
     /**
      * Link utilization snapshot: flits forwarded per (node, port)
      * divided by @p cycles. Entry order is node-major, port-minor.
@@ -59,11 +74,13 @@ class LoftNetwork : public Network
 
   private:
     template <typename T>
-    Channel<T> *newChannel(std::vector<std::unique_ptr<Channel<T>>> &pool);
+    Channel<T> *newChannel(std::vector<std::unique_ptr<Channel<T>>> &pool,
+                           LinkClass cls, NodeId receiver);
 
     const Mesh2D &mesh_;
     LoftParams params_;
     MetricsCollector metrics_;
+    FaultInjector *faults_;
 
     std::vector<std::unique_ptr<LoftDataRouter>> dataRouters_;
     std::vector<std::unique_ptr<LookaheadRouter>> laRouters_;

@@ -26,6 +26,21 @@ LoftSink::tick(Cycle now)
     if (flit.dst != node_)
         panic("loft-sink %u: flit for node %u", node_, flit.dst);
 
+    if (flit.payload != flitPayload(flit.flow, flit.flitNo)) {
+        // End-to-end payload check (the software CRC a real NI would
+        // run). Header ECC kept the flit routable, so delivery still
+        // completes — the damage is detected and accounted here.
+        ++corruptedDeliveries_;
+        [[maybe_unused]] const Cycle at =
+            wf->corruptedAt ? wf->corruptedAt : now;
+        NOC_OBSERVE(observer_,
+                    onFaultDetected(FaultKind::DataCorrupt, node_, at,
+                                    now));
+        NOC_OBSERVE(observer_,
+                    onFaultRecovered(FaultKind::DataCorrupt, node_, at,
+                                     now));
+    }
+
     actualCreditOut_->send(now, ActualCreditMsg{wf->spec});
     if (flit.quantumLast) {
         // The quantum is fully consumed: from this slot on its buffer

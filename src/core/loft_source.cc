@@ -68,6 +68,9 @@ LoftSourceUnit::receiveCredits(Cycle now)
 {
     if (actualCreditIn_) {
         while (auto c = actualCreditIn_->tryReceive(now)) {
+            if (!acceptCredit(*c, observer_, node_, now,
+                              creditsDiscarded_))
+                continue;
             if (c->spec)
                 ++dnSpecFree_;
             else
@@ -79,11 +82,18 @@ LoftSourceUnit::receiveCredits(Cycle now)
         }
     }
     if (virtualCreditIn_) {
-        while (auto c = virtualCreditIn_->tryReceive(now))
+        while (auto c = virtualCreditIn_->tryReceive(now)) {
+            if (!acceptCredit(*c, observer_, node_, now,
+                              creditsDiscarded_))
+                continue;
             sched_.onCreditReturn(c->departSlot);
+        }
     }
     if (laCreditIn_) {
         while (auto c = laCreditIn_->tryReceive(now)) {
+            if (!acceptCredit(*c, observer_, node_, now,
+                              creditsDiscarded_))
+                continue;
             ++laCredits_.at(c->vc);
             if (laCredits_[c->vc] > params_.laVcDepth)
                 panic("NI %u: look-ahead credit overflow", node_);
@@ -133,6 +143,7 @@ LoftSourceUnit::buildNextQuantum(Cycle now)
         flit.createdAt = pkt.enqueuedAt;
         flit.quantum = pq.la.quantumNo;
         flit.quantumLast = i + 1 == n;
+        flit.payload = flitPayload(flit.flow, flit.flitNo);
         pq.flits.push_back(flit);
     }
 

@@ -73,6 +73,8 @@ class LoftSourceUnit final : public Clocked
     std::uint64_t flitsSent() const { return flitsSent_; }
     std::uint64_t resetBlockedBookings() const { return rbBookings_; }
     std::uint64_t resetBlockedNonspec() const { return rbNonspec_; }
+    /** Corrupted credit messages discarded by the CRC model. */
+    std::uint64_t creditsDiscarded() const { return creditsDiscarded_; }
 
   private:
     /** One quantum waiting to depart over the local link. */
@@ -143,6 +145,7 @@ class LoftSourceUnit final : public Clocked
     std::uint64_t flitsSent_ = 0;
     std::uint64_t rbBookings_ = 0;
     std::uint64_t rbNonspec_ = 0;
+    std::uint64_t creditsDiscarded_ = 0;
     Cycle lastForward_ = 0;
     std::size_t queueCapacityFlits_;
     NetObserver *observer_ = nullptr;

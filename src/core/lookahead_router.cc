@@ -44,6 +44,9 @@ LookaheadRouter::receiveCredits(Cycle now)
         if (!op.creditIn)
             continue;
         while (auto c = op.creditIn->tryReceive(now)) {
+            if (!acceptCredit(*c, observer_, id_, now,
+                              creditsDiscarded_))
+                continue;
             ++op.credits.at(c->vc);
             if (op.credits[c->vc] > params_.laVcDepth)
                 panic("la-router %u: credit overflow", id_);
@@ -59,6 +62,17 @@ LookaheadRouter::receiveFlits(Cycle now)
         if (!ip.in)
             continue;
         while (auto wf = ip.in->tryReceive(now)) {
+            if (wf->fault.corrupted) {
+                // The flit was destroyed in flight (look-ahead drop):
+                // the CRC-failed frame still frees the upstream VC
+                // slot, but the reservation it carried is lost — the
+                // co-located data router's unclaimed-quantum timeout
+                // re-issues it.
+                ++lookaheadsLost_;
+                if (ip.creditReturn)
+                    ip.creditReturn->send(now, LaCredit{wf->vc});
+                continue;
+            }
             auto &vc = ip.vcs.at(wf->vc);
             if (vc.size() >= params_.laVcDepth)
                 panic("la-router %u: VC overflow on port %zu", id_, p);
@@ -144,6 +158,11 @@ LookaheadRouter::tick(Cycle now)
     receiveCredits(now);
     receiveFlits(now);
     admitToTables(now);
+    // Look-ahead loss recovery runs on this plane: re-issue the
+    // reservations for data quanta that timed out unclaimed before the
+    // scheduling pass, so a re-synthesized quantum can be granted in
+    // the same cycle.
+    data_->recoverLostLookaheads(now);
     allocateAndSchedule(now);
 }
 
@@ -165,6 +184,11 @@ LookaheadRouter::quiescent() const
         if (op.creditIn && !op.creditIn->empty())
             return false;
     }
+    // With recovery on, stay awake while unclaimed quanta wait for
+    // their (possibly lost) look-ahead: the re-issue timeout runs from
+    // this router's tick.
+    if (params_.recovery.enabled && data_->hasUnclaimedQuanta())
+        return false;
     return !data_->hasPendingQuanta();
 }
 

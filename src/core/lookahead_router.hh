@@ -42,8 +42,15 @@ class LookaheadRouter final : public Clocked
 
     bool quiescent() const override;
 
+    /** Attach an event observer (fault detection announcements). */
+    void setObserver(NetObserver *obs) { observer_ = obs; }
+
     std::uint64_t bufferedFlits() const;
     std::uint64_t scheduleRetries() const { return retries_; }
+    /** Corrupted look-ahead credits discarded by the CRC model. */
+    std::uint64_t creditsDiscarded() const { return creditsDiscarded_; }
+    /** Look-ahead flits that arrived CRC-dead (dropped in flight). */
+    std::uint64_t lookaheadsLost() const { return lookaheadsLost_; }
 
   private:
     struct TimedLa
@@ -84,6 +91,9 @@ class LookaheadRouter final : public Clocked
     std::array<FlowId, kNumPorts> flowPointer_{};
 
     std::uint64_t retries_ = 0;
+    std::uint64_t creditsDiscarded_ = 0;
+    std::uint64_t lookaheadsLost_ = 0;
+    NetObserver *observer_ = nullptr;
 };
 
 } // namespace noc

@@ -1,0 +1,76 @@
+#include "faults/fault_monitor.hh"
+
+#include <numeric>
+
+namespace noc
+{
+
+FaultMonitor::FaultMonitor()
+    : detectLat_(1.0, 1 << 16, 64), recoverLat_(1.0, 1 << 16, 64)
+{
+}
+
+void
+FaultMonitor::onFaultInjected(FaultKind kind, NodeId, Cycle)
+{
+    ++injected_[static_cast<std::size_t>(kind)];
+}
+
+void
+FaultMonitor::onFaultDetected(FaultKind kind, NodeId, Cycle injectedAt,
+                              Cycle now)
+{
+    ++detected_[static_cast<std::size_t>(kind)];
+    if (now >= injectedAt)
+        detectLat_.sample(static_cast<double>(now - injectedAt));
+}
+
+void
+FaultMonitor::onFaultRecovered(FaultKind kind, NodeId, Cycle injectedAt,
+                               Cycle now)
+{
+    ++recovered_[static_cast<std::size_t>(kind)];
+    if (now >= injectedAt)
+        recoverLat_.sample(static_cast<double>(now - injectedAt));
+}
+
+void
+FaultMonitor::onFlitDropped(NodeId, const Flit &, Cycle)
+{
+    ++flitsDropped_;
+}
+
+void
+FaultMonitor::onPacketAccepted(NodeId, const Packet &, Cycle)
+{
+    ++packetsAccepted_;
+}
+
+void
+FaultMonitor::onPacketDelivered(NodeId, FlowId, PacketId, Cycle)
+{
+    ++packetsDelivered_;
+}
+
+std::uint64_t
+FaultMonitor::totalInjected() const
+{
+    return std::accumulate(injected_.begin(), injected_.end(),
+                           std::uint64_t{0});
+}
+
+std::uint64_t
+FaultMonitor::totalDetected() const
+{
+    return std::accumulate(detected_.begin(), detected_.end(),
+                           std::uint64_t{0});
+}
+
+std::uint64_t
+FaultMonitor::totalRecovered() const
+{
+    return std::accumulate(recovered_.begin(), recovered_.end(),
+                           std::uint64_t{0});
+}
+
+} // namespace noc

@@ -8,10 +8,11 @@
 namespace noc
 {
 
-GsfNetwork::GsfNetwork(const Mesh2D &mesh, const GsfParams &params)
+GsfNetwork::GsfNetwork(const Mesh2D &mesh, const GsfParams &params,
+                       FaultInjector *faults)
     : mesh_(mesh), params_(params),
       barrier_(params.windowFrames, params.barrierDelay),
-      fabric_(mesh, params.router, &metrics_)
+      fabric_(mesh, params.router, &metrics_, faults)
 {
     // Oldest-frame-first arbitration everywhere.
     fabric_.setPriorityFn(

@@ -23,7 +23,8 @@ namespace noc
 class GsfNetwork : public Network
 {
   public:
-    GsfNetwork(const Mesh2D &mesh, const GsfParams &params);
+    GsfNetwork(const Mesh2D &mesh, const GsfParams &params,
+               FaultInjector *faults = nullptr);
 
     const Mesh2D &mesh() const override { return mesh_; }
     void registerFlows(const std::vector<FlowSpec> &flows) override;

@@ -3,6 +3,8 @@
 #include <cstdlib>
 
 #include "audit/network_auditor.hh"
+#include "faults/fault_injector.hh"
+#include "faults/fault_monitor.hh"
 #include "net/observer_mux.hh"
 #include "sim/logging.hh"
 #include "sim/simulator.hh"
@@ -35,38 +37,98 @@ uniformRates(std::size_t num_flows, double flits_per_cycle)
 }
 
 std::unique_ptr<Network>
-buildNetwork(const RunConfig &config, const Mesh2D &mesh)
+buildNetwork(const RunConfig &config, const Mesh2D &mesh,
+             FaultInjector *faults)
 {
     switch (config.kind) {
       case NetKind::Loft:
-        return std::make_unique<LoftNetwork>(mesh, config.loft);
+        return std::make_unique<LoftNetwork>(mesh, config.loft, faults);
       case NetKind::Gsf:
-        return std::make_unique<GsfNetwork>(mesh, config.gsf);
+        return std::make_unique<GsfNetwork>(mesh, config.gsf, faults);
       case NetKind::Wormhole:
         return std::make_unique<WormholeNetwork>(
-            mesh, config.wormhole, config.wormholeSourceQueueFlits);
+            mesh, config.wormhole, config.wormholeSourceQueueFlits,
+            faults);
     }
     fatal("buildNetwork: unknown network kind");
 }
+
+FaultPlan
+effectiveFaultPlan(const RunConfig &config)
+{
+    FaultPlan plan = config.faults;
+    if (!kAuditCompiledIn) {
+        plan.enabled = false;
+        return plan;
+    }
+    if (config.kind != NetKind::Loft) {
+        // Look-ahead and LOFT-credit faults have no physical meaning
+        // on the wormhole/GSF fabrics; only the shared-fabric classes
+        // (payload corruption, link stalls) remain.
+        plan.lookaheadDropRate = 0.0;
+        plan.creditLossRate = 0.0;
+        plan.creditCorruptRate = 0.0;
+    }
+    // Fold the run seed in so a seed sweep also sweeps fault
+    // sequences while (seed, plan) stays fully reproducible.
+    plan.seed = faultSeedMix(plan.seed, config.seed);
+    return plan;
+}
+
+namespace
+{
+
+/** Cycles per data frame of the configured network (resync horizon). */
+Cycle
+frameCyclesOf(const RunConfig &config)
+{
+    switch (config.kind) {
+      case NetKind::Loft:
+        return config.loft.frameSizeFlits;
+      case NetKind::Gsf:
+        return config.gsf.frameSizeFlits;
+      case NetKind::Wormhole:
+        return 256;
+    }
+    return 256;
+}
+
+} // namespace
 
 RunResult
 runExperiment(const RunConfig &config, const TrafficPattern &pattern,
               const std::vector<FlowRate> &rates)
 {
-    Mesh2D mesh(config.meshWidth, config.meshHeight);
-    std::unique_ptr<Network> net = buildNetwork(config, mesh);
+    RunConfig cfg = config;
+    const FaultPlan plan = effectiveFaultPlan(cfg);
+
+    // Built before the network: instrument() runs while the network
+    // wires its channels. When the plan is inactive no injector exists
+    // at all, so the run is bit-identical to one without the subsystem.
+    std::unique_ptr<FaultInjector> injector;
+    if (plan.active()) {
+        injector =
+            std::make_unique<FaultInjector>(plan, frameCyclesOf(cfg));
+        if (plan.autoRecovery && cfg.kind == NetKind::Loft)
+            cfg.loft.recovery.enabled = true;
+    }
+
+    Mesh2D mesh(cfg.meshWidth, cfg.meshHeight);
+    std::unique_ptr<Network> net =
+        buildNetwork(cfg, mesh, injector.get());
     auto *loft = dynamic_cast<LoftNetwork *>(net.get());
     auto *gsf = dynamic_cast<GsfNetwork *>(net.get());
 
     std::unique_ptr<NetworkAuditor> auditor;
-    if (config.audit && kAuditCompiledIn)
+    if (cfg.audit && kAuditCompiledIn)
         auditor = std::make_unique<NetworkAuditor>(*net);
 
-    // The network holds a single observer pointer; when both the
-    // auditor and telemetry are requested, fan out through a mux.
+    std::unique_ptr<FaultMonitor> monitor;
+    if (injector)
+        monitor = std::make_unique<FaultMonitor>();
+
     std::shared_ptr<TelemetryCollector> telemetry;
-    ObserverMux mux;
-    if (config.telemetry.enabled && kAuditCompiledIn) {
+    if (cfg.telemetry.enabled && kAuditCompiledIn) {
         std::vector<std::uint32_t> class_of;
         for (std::size_t i = 0; i < pattern.flows.size() &&
                                 i < pattern.groups.size();
@@ -77,20 +139,40 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
             class_of[id] = pattern.groups[i];
         }
         telemetry = std::make_shared<TelemetryCollector>(
-            mesh, config.telemetry, std::move(class_of),
+            mesh, cfg.telemetry, std::move(class_of),
             pattern.groupNames);
-        if (auditor) {
-            mux.add(auditor.get());
-            mux.add(telemetry.get());
-            net->setObserver(&mux);
-        } else {
-            net->setObserver(telemetry.get());
+    }
+
+    // The network holds a single observer pointer; with more than one
+    // consumer, fan out through a mux. The injector announces its
+    // injections to the same sink so the monitor, auditor and
+    // telemetry all see onFaultInjected.
+    ObserverMux mux;
+    {
+        std::vector<NetObserver *> sinks;
+        if (auditor)
+            sinks.push_back(auditor.get());
+        if (telemetry)
+            sinks.push_back(telemetry.get());
+        if (monitor)
+            sinks.push_back(monitor.get());
+        NetObserver *sink = nullptr;
+        if (sinks.size() == 1) {
+            sink = sinks.front();
+        } else if (sinks.size() > 1) {
+            for (NetObserver *o : sinks)
+                mux.add(o);
+            sink = &mux;
         }
+        if (sink)
+            net->setObserver(sink);
+        if (injector)
+            injector->setObserver(sink);
     }
 
     net->registerFlows(pattern.flows);
 
-    TrafficGenerator gen(*net, config.packetSizeFlits, config.seed);
+    TrafficGenerator gen(*net, cfg.packetSizeFlits, cfg.seed);
     gen.configure(pattern.flows, rates);
 
     Simulator sim;
@@ -101,11 +183,11 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
     if (telemetry)
         sim.add(telemetry.get()); // last: samples end-of-cycle state
 
-    sim.run(config.warmupCycles);
+    sim.run(cfg.warmupCycles);
     net->metrics().startMeasurement(sim.now());
     if (telemetry)
         telemetry->startMeasurement(sim.now());
-    sim.run(config.measureCycles);
+    sim.run(cfg.measureCycles);
     net->metrics().stopMeasurement(sim.now());
     if (telemetry) {
         telemetry->stopMeasurement(sim.now());
@@ -131,13 +213,14 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
     }
     if (loft) {
         r.linkUtilization =
-            loft->linkUtilization(config.warmupCycles +
-                                  config.measureCycles);
+            loft->linkUtilization(cfg.warmupCycles + cfg.measureCycles);
         r.localResets = loft->totalLocalResets();
         r.speculativeForwards = loft->totalSpeculativeForwards();
         r.emergentForwards = loft->totalEmergentForwards();
         r.anomalyViolations = loft->totalAnomalyViolations();
         r.missedSlots = loft->totalMissedSlots();
+        r.lookaheadReissues = loft->totalLookaheadReissues();
+        r.quantaScrubbed = loft->totalQuantaScrubbed();
     }
     if (gsf)
         r.frameRecycles = gsf->barrier().recycleCount();
@@ -146,6 +229,17 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
         r.auditWatchdogs = auditor->countOf(AuditKind::Watchdog);
         if (auditor->violationCount())
             r.auditReport = auditor->report();
+    }
+    if (monitor) {
+        r.faultsInjected = monitor->injected();
+        r.faultsDetected = monitor->detected();
+        r.faultsRecovered = monitor->recovered();
+        r.faultFlitsDropped = monitor->flitsDropped();
+        r.packetSurvivalRate = monitor->survivalRate();
+        r.faultDetectionP99 =
+            monitor->detectionLatency().percentile(0.99);
+        r.faultRecoveryP99 =
+            monitor->recoveryLatency().percentile(0.99);
     }
     r.telemetry = telemetry;
     return r;

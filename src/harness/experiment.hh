@@ -8,11 +8,13 @@
 #ifndef NOC_HARNESS_EXPERIMENT_HH
 #define NOC_HARNESS_EXPERIMENT_HH
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/loft_network.hh"
+#include "faults/fault_plan.hh"
 #include "gsf/gsf_network.hh"
 #include "router/wormhole_network.hh"
 #include "telemetry/telemetry.hh"
@@ -62,6 +64,18 @@ struct RunConfig
      * taken from the traffic pattern's group labels.
      */
     TelemetryConfig telemetry;
+
+    /**
+     * Deterministic fault-injection schedule (src/faults). Inert by
+     * default; set faults.enabled plus at least one non-zero rate to
+     * arm it. With an active plan the harness instruments every
+     * channel of the network, attaches a FaultMonitor, and — for LOFT,
+     * when faults.autoRecovery — enables loft.recovery. Fault classes
+     * that have no physical meaning on the selected network (look-ahead
+     * drops, credit loss/corruption outside LOFT) are ignored there. A
+     * no-op in builds with -DLOFT_AUDIT=OFF.
+     */
+    FaultPlan faults;
 
     /**
      * Honour the LOFT_SIM_SCALE environment variable (a positive float
@@ -118,6 +132,25 @@ struct RunResult
     std::string auditReport;
     /// @}
 
+    /// @name Fault injection (all zero unless the plan was active)
+    /// @{
+    /** Events by kind; index with static_cast<size_t>(FaultKind). */
+    std::array<std::uint64_t, kNumFaultKinds> faultsInjected{};
+    std::array<std::uint64_t, kNumFaultKinds> faultsDetected{};
+    std::array<std::uint64_t, kNumFaultKinds> faultsRecovered{};
+    /** Data flits retired by recovery give-up. */
+    std::uint64_t faultFlitsDropped = 0;
+    /** Look-ahead flits re-synthesized after a reservation timeout. */
+    std::uint64_t lookaheadReissues = 0;
+    /** Stale scheduled records reclaimed by the table scrub. */
+    std::uint64_t quantaScrubbed = 0;
+    /** Delivered / accepted packets over the whole run (1.0 clean). */
+    double packetSurvivalRate = 1.0;
+    /** p99 cycles from injection to detection / recovery. */
+    double faultDetectionP99 = 0.0;
+    double faultRecoveryP99 = 0.0;
+    /// @}
+
     /**
      * The run's telemetry collector (null unless
      * RunConfig::telemetry.enabled and the hooks are compiled in).
@@ -129,10 +162,19 @@ struct RunResult
 
 /**
  * Build the network selected by @p config on @p mesh. @p mesh must
- * outlive the returned network.
+ * outlive the returned network; so must @p faults when given (its
+ * sites are referenced by the network's channels).
  */
 std::unique_ptr<Network> buildNetwork(const RunConfig &config,
-                                      const Mesh2D &mesh);
+                                      const Mesh2D &mesh,
+                                      FaultInjector *faults = nullptr);
+
+/**
+ * The fault plan as the harness applies it to @p config: fault classes
+ * without physical meaning on the selected network are zeroed, and the
+ * whole plan is inert when the hooks are compiled out.
+ */
+FaultPlan effectiveFaultPlan(const RunConfig &config);
 
 /**
  * Build the configured network, register the pattern's flows, warm up,

@@ -186,6 +186,12 @@ sweepFingerprint(const RunResult &r)
        << r.emergentForwards << " " << r.anomalyViolations << " "
        << r.missedSlots << " " << r.frameRecycles << " "
        << r.auditHardViolations << " " << r.auditWatchdogs << "\n";
+    for (std::size_t k = 0; k < kNumFaultKinds; ++k)
+        os << r.faultsInjected[k] << " " << r.faultsDetected[k] << " "
+           << r.faultsRecovered[k] << " ";
+    os << r.faultFlitsDropped << " " << r.lookaheadReissues << " "
+       << r.quantaScrubbed << " " << r.packetSurvivalRate << " "
+       << r.faultDetectionP99 << " " << r.faultRecoveryP99 << "\n";
     for (double v : r.flowThroughput)
         os << v << " ";
     for (double v : r.flowAvgLatency)

@@ -11,15 +11,40 @@
 #ifndef NOC_NET_CHANNEL_HH
 #define NOC_NET_CHANNEL_HH
 
+#include <algorithm>
 #include <deque>
 #include <optional>
 #include <utility>
 
+#include "net/instrument.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace noc
 {
+
+template <typename T>
+class Channel;
+
+/**
+ * Fault-injection seam (src/faults). A hook installed on a channel sees
+ * every send and may drop, mutate, delay, or re-schedule the value, and
+ * may stall delivery. Compiled out with the audit/instrumentation
+ * machinery (-DLOFT_AUDIT=OFF); on un-faulted channels the cost is one
+ * null-pointer check per send/ready.
+ */
+template <typename T>
+class ChannelFaultHook
+{
+  public:
+    virtual ~ChannelFaultHook() = default;
+
+    /** Forward (possibly altered) @p value into @p ch, or swallow it. */
+    virtual void processSend(Channel<T> &ch, Cycle now, T value) = 0;
+
+    /** True while the link is stuck and may not deliver. */
+    virtual bool stalled(Cycle now) = 0;
+};
 
 /**
  * A FIFO wire carrying values of type T with a fixed delivery latency.
@@ -40,6 +65,12 @@ class Channel
     void
     send(Cycle now, T value)
     {
+#if LOFT_AUDIT_ENABLED
+        if (faults_) {
+            faults_->processSend(*this, now, std::move(value));
+            return;
+        }
+#endif
         inFlight_.push_back({now + latency_, std::move(value)});
     }
 
@@ -47,6 +78,10 @@ class Channel
     bool
     ready(Cycle now) const
     {
+#if LOFT_AUDIT_ENABLED
+        if (faults_ && faults_->stalled(now))
+            return false;
+#endif
         return !inFlight_.empty() && inFlight_.front().first <= now;
     }
 
@@ -86,9 +121,31 @@ class Channel
 
     Cycle latency() const { return latency_; }
 
+#if LOFT_AUDIT_ENABLED
+    /** Install (or clear) the fault-injection hook. */
+    void setFaultHook(ChannelFaultHook<T> *hook) { faults_ = hook; }
+
+    /**
+     * Enqueue @p value for delivery at absolute cycle @p when,
+     * preserving delivery-time order. Fault-injection support (late
+     * re-delivery of lost messages); not part of the normal send path.
+     */
+    void
+    deliverAt(Cycle when, T value)
+    {
+        auto it = std::upper_bound(
+            inFlight_.begin(), inFlight_.end(), when,
+            [](Cycle w, const auto &entry) { return w < entry.first; });
+        inFlight_.insert(it, {when, std::move(value)});
+    }
+#endif
+
   private:
     Cycle latency_;
     std::deque<std::pair<Cycle, T>> inFlight_;
+#if LOFT_AUDIT_ENABLED
+    ChannelFaultHook<T> *faults_ = nullptr;
+#endif
 };
 
 /** Credit message for conventional credit-based VC flow control. */

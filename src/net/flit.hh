@@ -49,6 +49,12 @@ struct Flit
     std::uint64_t quantum = 0;
     /** True if this flit closes its quantum (LOFT). */
     bool quantumLast = false;
+    /**
+     * Stand-in for the flit's data bits: sources stamp
+     * flitPayload(flow, flitNo) so sinks can detect payload corruption
+     * (fault injection) the way a real NI's end-to-end CRC would.
+     */
+    std::uint64_t payload = 0;
     /** True if this flit ends its packet. */
     bool isTail() const
     {
@@ -59,6 +65,21 @@ struct Flit
         return type == FlitType::Head || type == FlitType::HeadTail;
     }
 };
+
+/**
+ * The reference payload of a flit: a cheap splitmix64-style mix of the
+ * flit's identity. Deterministic, so any single bit-flip in transit is
+ * detectable at the sink without carrying golden data around.
+ */
+constexpr std::uint64_t
+flitPayload(FlowId flow, std::uint64_t flit_no)
+{
+    std::uint64_t z = (static_cast<std::uint64_t>(flow) << 40) ^ flit_no ^
+                      0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
 
 /**
  * A look-ahead flit (Fig. 3 of the paper): identifies the flow by

@@ -57,6 +57,41 @@ class OutputScheduler;
 /** True if instrumentation hooks are compiled into this build. */
 constexpr bool kAuditCompiledIn = LOFT_AUDIT_ENABLED != 0;
 
+/**
+ * The injectable fault classes (src/faults). Also the vocabulary of the
+ * onFault* observer hooks, so detectors (sinks, credit receivers, the
+ * recovery logic) and the FaultMonitor agree on labels.
+ */
+enum class FaultKind : std::uint8_t
+{
+    LookaheadDrop, ///< look-ahead flit silently dropped on a link
+    CreditLoss,    ///< credit message lost (resynchronized late)
+    CreditCorrupt, ///< credit message corrupted (discarded by CRC)
+    DataCorrupt,   ///< data-flit payload bit-flip
+    LinkStall,     ///< link stuck for K cycles
+};
+
+constexpr std::size_t kNumFaultKinds = 5;
+
+/** Human-readable fault-kind name ("lookahead_drop", ...). */
+inline const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::LookaheadDrop:
+        return "lookahead_drop";
+      case FaultKind::CreditLoss:
+        return "credit_loss";
+      case FaultKind::CreditCorrupt:
+        return "credit_corrupt";
+      case FaultKind::DataCorrupt:
+        return "data_corrupt";
+      case FaultKind::LinkStall:
+        return "link_stall";
+    }
+    return "unknown";
+}
+
 class NetObserver
 {
   public:
@@ -241,6 +276,50 @@ class NetObserver
                                    Cycle now)
     {
         (void)sched;
+        (void)now;
+    }
+
+    /// @}
+    /// @name Fault injection & recovery (src/faults)
+    /// @{
+
+    /** The injector applied a fault of @p kind on a link whose receiver
+     *  is @p node. */
+    virtual void onFaultInjected(FaultKind kind, NodeId node, Cycle now)
+    {
+        (void)kind;
+        (void)node;
+        (void)now;
+    }
+
+    /** A protocol-level detector (timeout, CRC, payload check, link
+     *  monitor) noticed the fault injected at @p injectedAt. */
+    virtual void onFaultDetected(FaultKind kind, NodeId node,
+                                 Cycle injectedAt, Cycle now)
+    {
+        (void)kind;
+        (void)node;
+        (void)injectedAt;
+        (void)now;
+    }
+
+    /** The fault injected at @p injectedAt was repaired (look-ahead
+     *  re-issued, credit resynchronized, ...). */
+    virtual void onFaultRecovered(FaultKind kind, NodeId node,
+                                  Cycle injectedAt, Cycle now)
+    {
+        (void)kind;
+        (void)node;
+        (void)injectedAt;
+        (void)now;
+    }
+
+    /** Recovery gave up on @p flit and dropped it at @p node; the flit
+     *  leaves the network unaccounted by the sinks. */
+    virtual void onFlitDropped(NodeId node, const Flit &flit, Cycle now)
+    {
+        (void)node;
+        (void)flit;
         (void)now;
     }
 

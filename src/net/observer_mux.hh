@@ -186,6 +186,36 @@ class ObserverMux : public NetObserver
             t->onSchedLocalReset(sched, now);
     }
 
+    void
+    onFaultInjected(FaultKind kind, NodeId node, Cycle now) override
+    {
+        for (auto *t : targets_)
+            t->onFaultInjected(kind, node, now);
+    }
+
+    void
+    onFaultDetected(FaultKind kind, NodeId node, Cycle injectedAt,
+                    Cycle now) override
+    {
+        for (auto *t : targets_)
+            t->onFaultDetected(kind, node, injectedAt, now);
+    }
+
+    void
+    onFaultRecovered(FaultKind kind, NodeId node, Cycle injectedAt,
+                     Cycle now) override
+    {
+        for (auto *t : targets_)
+            t->onFaultRecovered(kind, node, injectedAt, now);
+    }
+
+    void
+    onFlitDropped(NodeId node, const Flit &flit, Cycle now) override
+    {
+        for (auto *t : targets_)
+            t->onFlitDropped(node, flit, now);
+    }
+
   private:
     std::vector<NetObserver *> targets_;
 };

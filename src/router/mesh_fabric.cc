@@ -4,7 +4,7 @@ namespace noc
 {
 
 MeshFabric::MeshFabric(const Mesh2D &mesh, const WormholeParams &params,
-                       MetricsCollector *metrics)
+                       MetricsCollector *metrics, FaultInjector *faults)
     : mesh_(mesh), params_(params)
 {
     const std::uint32_t n = mesh.numNodes();
@@ -12,6 +12,11 @@ MeshFabric::MeshFabric(const Mesh2D &mesh, const WormholeParams &params,
     for (NodeId id = 0; id < n; ++id)
         routers_.push_back(
             std::make_unique<WormholeRouter>(id, mesh, params));
+
+    const auto instrument = [&](auto &ch, LinkClass cls, NodeId rx) {
+        if (faults)
+            faults->instrument(*ch, cls, rx);
+    };
 
     // Inter-router links: one flit channel and one reverse credit
     // channel per directed neighbour pair.
@@ -24,6 +29,8 @@ MeshFabric::MeshFabric(const Mesh2D &mesh, const WormholeParams &params,
                 std::make_unique<Channel<WireFlit>>(params.linkLatency);
             auto credCh =
                 std::make_unique<Channel<Credit>>(params.linkLatency);
+            instrument(flitCh, LinkClass::FabricFlit, nb);
+            instrument(credCh, LinkClass::FabricCredit, id);
             routers_[id]->connectOutput(p, flitCh.get(), credCh.get());
             routers_[nb]->connectInput(oppositePort(p), flitCh.get(),
                                        credCh.get());
@@ -41,6 +48,8 @@ MeshFabric::MeshFabric(const Mesh2D &mesh, const WormholeParams &params,
             std::make_unique<Channel<WireFlit>>(params.linkLatency);
         localInCredit_[id] =
             std::make_unique<Channel<Credit>>(params.linkLatency);
+        instrument(localIn_[id], LinkClass::FabricFlit, id);
+        instrument(localInCredit_[id], LinkClass::FabricCredit, id);
         routers_[id]->connectInput(Port::Local, localIn_[id].get(),
                                    localInCredit_[id].get());
 
@@ -48,6 +57,8 @@ MeshFabric::MeshFabric(const Mesh2D &mesh, const WormholeParams &params,
             std::make_unique<Channel<WireFlit>>(params.linkLatency);
         auto ejectCred =
             std::make_unique<Channel<Credit>>(params.linkLatency);
+        instrument(ejectCh, LinkClass::FabricFlit, id);
+        instrument(ejectCred, LinkClass::FabricCredit, id);
         routers_[id]->connectOutput(Port::Local, ejectCh.get(),
                                     ejectCred.get());
         sinks_.push_back(std::make_unique<SinkUnit>(

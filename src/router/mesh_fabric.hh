@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "faults/fault_injector.hh"
 #include "net/metrics.hh"
 #include "net/topology.hh"
 #include "router/sink_unit.hh"
@@ -24,8 +25,14 @@ namespace noc
 class MeshFabric
 {
   public:
+    /**
+     * @param faults optional fault injector; when given, every flit and
+     *        credit channel is instrumented at construction (the
+     *        injector must outlive the fabric).
+     */
     MeshFabric(const Mesh2D &mesh, const WormholeParams &params,
-               MetricsCollector *metrics);
+               MetricsCollector *metrics,
+               FaultInjector *faults = nullptr);
 
     const Mesh2D &mesh() const { return mesh_; }
 

@@ -30,6 +30,20 @@ SinkUnit::tick(Cycle now)
         panic("sink %u received flit for node %u (flow %u)",
               node_, flit.dst, flit.flow);
 
+    if (flit.payload != flitPayload(flit.flow, flit.flitNo)) {
+        // End-to-end payload check (fault injection): header ECC kept
+        // the flit routable, so it still arrives and is accounted here.
+        ++corruptedDeliveries_;
+        [[maybe_unused]] const Cycle at =
+            wf->corruptedAt ? wf->corruptedAt : now;
+        NOC_OBSERVE(observer_,
+                    onFaultDetected(FaultKind::DataCorrupt, node_, at,
+                                    now));
+        NOC_OBSERVE(observer_,
+                    onFaultRecovered(FaultKind::DataCorrupt, node_, at,
+                                     now));
+    }
+
     if (creditReturn_)
         creditReturn_->send(now, Credit{wf->vc});
 

@@ -37,6 +37,12 @@ class SinkUnit final : public Clocked
 
     std::uint64_t flitsEjected() const { return flitsEjected_; }
 
+    /** Flits whose payload failed the end-to-end check on ejection. */
+    std::uint64_t corruptedDeliveries() const
+    {
+        return corruptedDeliveries_;
+    }
+
     /** Attach an event observer. */
     void setObserver(NetObserver *obs) { observer_ = obs; }
 
@@ -49,6 +55,7 @@ class SinkUnit final : public Clocked
     /** Received flit count per partially received packet. */
     std::unordered_map<PacketId, std::uint32_t> pending_;
     std::uint64_t flitsEjected_ = 0;
+    std::uint64_t corruptedDeliveries_ = 0;
     NetObserver *observer_ = nullptr;
 };
 

@@ -107,6 +107,7 @@ SourceUnit::tick(Cycle now)
         flit.pktSize = current_.sizeFlits;
         flit.createdAt = current_.enqueuedAt;
         flit.frame = currentFrame_;
+        flit.payload = flitPayload(flit.flow, flit.flitNo);
 
         out_->send(now, WireFlit{flit, currentVC_});
         NOC_OBSERVE(observer_, onFlitSourced(node_, flit, false, now));

@@ -7,8 +7,9 @@ namespace noc
 
 WormholeNetwork::WormholeNetwork(const Mesh2D &mesh,
                                  const WormholeParams &params,
-                                 std::size_t source_queue_flits)
-    : mesh_(mesh), fabric_(mesh, params, &metrics_)
+                                 std::size_t source_queue_flits,
+                                 FaultInjector *faults)
+    : mesh_(mesh), fabric_(mesh, params, &metrics_, faults)
 {
     sources_.reserve(mesh.numNodes());
     for (NodeId id = 0; id < mesh.numNodes(); ++id)

@@ -22,7 +22,8 @@ class WormholeNetwork : public Network
 {
   public:
     WormholeNetwork(const Mesh2D &mesh, const WormholeParams &params,
-                    std::size_t source_queue_flits = 0);
+                    std::size_t source_queue_flits = 0,
+                    FaultInjector *faults = nullptr);
 
     const Mesh2D &mesh() const override { return mesh_; }
     void registerFlows(const std::vector<FlowSpec> &flows) override;

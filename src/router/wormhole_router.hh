@@ -35,6 +35,8 @@ struct WireFlit
 {
     Flit flit;
     std::uint32_t vc = 0;
+    /** Cycle a payload corruption was injected, 0 if clean. */
+    Cycle corruptedAt = 0;
 };
 
 /** Configuration of a wormhole router / network. */

@@ -72,11 +72,14 @@ Histogram::sample(double x)
     maxSample_ = std::max(maxSample_, x);
     if (x < 0.0)
         x = 0.0;
-    const auto idx = static_cast<std::size_t>(x / bucketWidth_);
-    if (idx >= buckets_.size())
+    // Compare in double before converting: casting a quotient that
+    // exceeds size_t range (huge samples, inf, NaN) to size_t is UB.
+    // The !(<) form also routes NaN into the overflow bucket.
+    const double idx = x / bucketWidth_;
+    if (!(idx < static_cast<double>(buckets_.size())))
         ++overflow_;
     else
-        ++buckets_[idx];
+        ++buckets_[static_cast<std::size_t>(idx)];
 }
 
 void

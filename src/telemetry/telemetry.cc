@@ -34,7 +34,12 @@ TelemetryCollector::TelemetryCollector(const Mesh2D &mesh,
       cur_(numNodes_ * kNumLanes), lastLanes_(numNodes_ * kNumLanes),
       buffered_(numNodes_, 0), ejected_(numNodes_, 0),
       delivered_(numNodes_, 0), lastEjected_(numNodes_, 0),
-      lastDelivered_(numNodes_, 0), classOf_(std::move(class_of)),
+      lastDelivered_(numNodes_, 0), faultsInjected_(numNodes_, 0),
+      faultsDetected_(numNodes_, 0), faultsRecovered_(numNodes_, 0),
+      lastFaultsInjected_(numNodes_, 0),
+      lastFaultsDetected_(numNodes_, 0),
+      lastFaultsRecovered_(numNodes_, 0),
+      classOf_(std::move(class_of)),
       classNames_(std::move(class_names))
 {
     if (cfg_.epochCycles == 0)
@@ -352,6 +357,36 @@ TelemetryCollector::onSchedLocalReset(const OutputScheduler &sched,
     ++cur_[schedLane(sched)].localResets;
 }
 
+void
+TelemetryCollector::onFaultInjected(FaultKind kind, NodeId node,
+                                    Cycle now)
+{
+    (void)kind;
+    (void)now;
+    if (node < numNodes_)
+        ++faultsInjected_[node];
+}
+
+void
+TelemetryCollector::onFaultDetected(FaultKind kind, NodeId node, Cycle,
+                                    Cycle now)
+{
+    (void)kind;
+    (void)now;
+    if (node < numNodes_)
+        ++faultsDetected_[node];
+}
+
+void
+TelemetryCollector::onFaultRecovered(FaultKind kind, NodeId node, Cycle,
+                                     Cycle now)
+{
+    (void)kind;
+    (void)now;
+    if (node < numNodes_)
+        ++faultsRecovered_[node];
+}
+
 // ---------------------------------------------------------------------
 // Epoch sampling
 // ---------------------------------------------------------------------
@@ -409,11 +444,20 @@ TelemetryCollector::closeEpoch(Cycle end)
         ep.nodes[n].flitsEjected = ejected_[n] - lastEjected_[n];
         ep.nodes[n].packetsDelivered =
             delivered_[n] - lastDelivered_[n];
+        ep.nodes[n].faultsInjected =
+            faultsInjected_[n] - lastFaultsInjected_[n];
+        ep.nodes[n].faultsDetected =
+            faultsDetected_[n] - lastFaultsDetected_[n];
+        ep.nodes[n].faultsRecovered =
+            faultsRecovered_[n] - lastFaultsRecovered_[n];
     }
     epochs_.push_back(std::move(ep));
     lastLanes_ = cur_;
     lastEjected_ = ejected_;
     lastDelivered_ = delivered_;
+    lastFaultsInjected_ = faultsInjected_;
+    lastFaultsDetected_ = faultsDetected_;
+    lastFaultsRecovered_ = faultsRecovered_;
     epochStart_ = end;
 }
 
@@ -428,7 +472,8 @@ TelemetryCollector::timeSeriesCsv() const
         "epoch,start_cycle,end_cycle,node,lane,flits_forwarded,"
         "spec_forwards,missed_slots,lookahead_admits,grants,"
         "credit_returns,skipped_quanta,local_resets,table_occupancy,"
-        "buffer_occupancy,flits_ejected,packets_delivered\n";
+        "buffer_occupancy,flits_ejected,packets_delivered,"
+        "faults_injected,faults_detected,faults_recovered\n";
     for (std::size_t e = 0; e < epochs_.size(); ++e) {
         const TelemetryEpoch &ep = epochs_[e];
         for (std::size_t n = 0; n < numNodes_; ++n) {
@@ -443,14 +488,18 @@ TelemetryCollector::timeSeriesCsv() const
                     "%zu,%" PRIu64 ",%" PRIu64 ",%zu,%s,%" PRIu64
                     ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
                     ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
-                    ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
+                    ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                    ",%" PRIu64 ",%" PRIu64 "\n",
                     e, ep.start, ep.end, n, laneName(l),
                     c.flitsForwarded, c.specForwards, c.missedSlots,
                     c.lookaheadAdmits, c.grants, c.creditReturns,
                     c.skippedQuanta, c.localResets, c.tableOccupancy,
                     node_row ? nc.bufferOccupancy : 0,
                     node_row ? nc.flitsEjected : 0,
-                    node_row ? nc.packetsDelivered : 0);
+                    node_row ? nc.packetsDelivered : 0,
+                    node_row ? nc.faultsInjected : 0,
+                    node_row ? nc.faultsDetected : 0,
+                    node_row ? nc.faultsRecovered : 0);
             }
         }
     }

@@ -89,6 +89,10 @@ struct NodeCounters
     std::uint64_t bufferOccupancy = 0;
     std::uint64_t flitsEjected = 0;   ///< delta over the epoch
     std::uint64_t packetsDelivered = 0;
+    /** Fault-injection events at the node (deltas; all kinds summed). */
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsDetected = 0;
+    std::uint64_t faultsRecovered = 0;
 };
 
 /** One closed sampling epoch: [start, end) in cycles. */
@@ -217,6 +221,11 @@ class TelemetryCollector : public NetObserver, public Clocked
                              Slot abs_slot) override;
     void onSchedLocalReset(const OutputScheduler &sched,
                            Cycle now) override;
+    void onFaultInjected(FaultKind kind, NodeId node, Cycle now) override;
+    void onFaultDetected(FaultKind kind, NodeId node, Cycle injected_at,
+                         Cycle now) override;
+    void onFaultRecovered(FaultKind kind, NodeId node, Cycle injected_at,
+                          Cycle now) override;
 
   private:
     /** A packet between acceptance and delivery. */
@@ -257,6 +266,12 @@ class TelemetryCollector : public NetObserver, public Clocked
     std::vector<std::uint64_t> delivered_;      ///< per-node cumulative
     std::vector<std::uint64_t> lastEjected_;
     std::vector<std::uint64_t> lastDelivered_;
+    std::vector<std::uint64_t> faultsInjected_; ///< per-node cumulative
+    std::vector<std::uint64_t> faultsDetected_;
+    std::vector<std::uint64_t> faultsRecovered_;
+    std::vector<std::uint64_t> lastFaultsInjected_;
+    std::vector<std::uint64_t> lastFaultsDetected_;
+    std::vector<std::uint64_t> lastFaultsRecovered_;
     std::vector<TelemetryEpoch> epochs_;
     Cycle epochStart_ = 0;
     bool finished_ = false;

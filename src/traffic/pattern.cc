@@ -56,8 +56,13 @@ transposePattern(const Mesh2D &mesh)
     p.groupNames = {"all"};
     FlowId id = 0;
     for (NodeId n = 0; n < mesh.numNodes(); ++n) {
-        const NodeId dst = mesh.nodeAt(mesh.yOf(n) % mesh.width(),
-                                       mesh.xOf(n) % mesh.height());
+        // Transpose of the row-major index grid: node x + y*W sends to
+        // y + x*H, a bijection on any W x H mesh that reduces to the
+        // classic (x,y) -> (y,x) swap when the mesh is square. (The old
+        // modulo wrap aliased several sources onto one destination on
+        // rectangular meshes.)
+        const NodeId dst = static_cast<NodeId>(
+            mesh.yOf(n) + mesh.xOf(n) * mesh.height());
         if (dst == n)
             continue;
         p.flows.push_back(makeFlow(id++, n, dst));
@@ -100,8 +105,15 @@ tornadoPattern(const Mesh2D &mesh)
 {
     TrafficPattern p;
     p.groupNames = {"all"};
+    // A width <= 2 ring has no non-self tornado destination; return the
+    // empty pattern instead of computing a degenerate (or, at width 1,
+    // underflowing) shift.
+    if (mesh.width() <= 2)
+        return p;
     FlowId id = 0;
-    const std::uint32_t shift = mesh.width() / 2 - 1;
+    // Tornado sends ceil(W/2) - 1 hops around the ring; width/2 - 1
+    // under-rotated odd widths.
+    const std::uint32_t shift = (mesh.width() + 1) / 2 - 1;
     for (NodeId n = 0; n < mesh.numNodes(); ++n) {
         const std::uint32_t dx =
             (mesh.xOf(n) + shift) % mesh.width();
@@ -144,23 +156,32 @@ shufflePattern(const Mesh2D &mesh)
 TrafficPattern
 dosPattern(const Mesh2D &mesh)
 {
-    if (mesh.numNodes() < 64)
+    if (mesh.width() < 8 || mesh.height() < 8)
         fatal("dosPattern expects an 8x8 mesh or larger");
-    const NodeId hotspot = 63;
+    // Fig. 12 geometry, derived from the mesh instead of hardcoding the
+    // 8x8 node ids (63 / 48 / 56): the hotspot is the far south-east
+    // corner, the victim the opposite corner, and the two aggressors
+    // sit on the west edge in the hotspot's row and the row above so
+    // their traffic converges on the victim's XY path.
+    const NodeId hotspot =
+        mesh.nodeAt(mesh.width() - 1, mesh.height() - 1);
+    const NodeId agg1Src = mesh.nodeAt(0, mesh.height() - 2);
+    const NodeId agg2Src = mesh.nodeAt(0, mesh.height() - 1);
     TrafficPattern p;
-    p.groupNames = {"victim", "aggressor48", "aggressor56"};
+    p.groupNames = {"victim", "aggressor" + std::to_string(agg1Src),
+                    "aggressor" + std::to_string(agg2Src)};
 
-    FlowSpec victim = makeFlow(0, 0, hotspot);
+    FlowSpec victim = makeFlow(0, mesh.nodeAt(0, 0), hotspot);
     victim.bwShare = 0.25;
     p.flows.push_back(victim);
     p.groups.push_back(0);
 
-    FlowSpec agg1 = makeFlow(1, 48, hotspot);
+    FlowSpec agg1 = makeFlow(1, agg1Src, hotspot);
     agg1.bwShare = 0.25;
     p.flows.push_back(agg1);
     p.groups.push_back(1);
 
-    FlowSpec agg2 = makeFlow(2, 56, hotspot);
+    FlowSpec agg2 = makeFlow(2, agg2Src, hotspot);
     agg2.bwShare = 0.25;
     p.flows.push_back(agg2);
     p.groups.push_back(2);

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "net/routing.hh"
 #include "traffic/pattern.hh"
@@ -153,6 +156,148 @@ TEST(Pattern, ShuffleNonPowerOfTwoFallsBack)
     for (const auto &f : p.flows)
         EXPECT_EQ(f.dst, (2 * f.src) % 6);
 }
+
+TEST(Pattern, TornadoOddWidthShiftsCeilHalf)
+{
+    // Regression: the shift is ceil(W/2) - 1 hops around the ring. The
+    // old floor(W/2) - 1 under-rotated every odd width (and produced an
+    // all-self pattern at W = 3).
+    for (const auto &[w, h] : std::vector<std::pair<std::uint32_t,
+                                                    std::uint32_t>>{
+             {7, 3}, {5, 5}, {3, 4}}) {
+        Mesh2D m(w, h);
+        const std::uint32_t shift = (w + 1) / 2 - 1;
+        EXPECT_NE(shift, w / 2 - 1) << "old formula must differ, W=" << w;
+        const auto p = tornadoPattern(m);
+        EXPECT_EQ(p.flows.size(), static_cast<std::size_t>(w) * h)
+            << "W=" << w;
+        for (const auto &f : p.flows) {
+            EXPECT_EQ(m.yOf(f.dst), m.yOf(f.src));
+            EXPECT_EQ(m.xOf(f.dst), (m.xOf(f.src) + shift) % w);
+        }
+    }
+}
+
+TEST(Pattern, TornadoDegenerateWidthsAreEmpty)
+{
+    // W <= 2 has no non-self tornado destination (and W = 1 would
+    // underflow the shift); the pattern is explicitly empty.
+    EXPECT_TRUE(tornadoPattern(Mesh2D(2, 4)).flows.empty());
+    EXPECT_TRUE(tornadoPattern(Mesh2D(1, 4)).flows.empty());
+}
+
+TEST(Pattern, TransposeRectangularIsBijective)
+{
+    // Regression: on W != H meshes the old modulo wrap aliased several
+    // sources onto one destination. The index transpose x+y*W -> y+x*H
+    // is a bijection on any mesh.
+    for (const auto &[w, h] : std::vector<std::pair<std::uint32_t,
+                                                    std::uint32_t>>{
+             {4, 2}, {2, 4}, {6, 4}, {5, 3}}) {
+        Mesh2D m(w, h);
+        const auto p = transposePattern(m);
+        std::set<NodeId> dsts;
+        for (const auto &f : p.flows) {
+            EXPECT_EQ(f.dst, m.yOf(f.src) + m.xOf(f.src) * h);
+            EXPECT_LT(f.dst, m.numNodes());
+            EXPECT_NE(f.dst, f.src);
+            EXPECT_TRUE(dsts.insert(f.dst).second)
+                << "duplicate destination " << f.dst << " on " << w
+                << "x" << h;
+        }
+    }
+}
+
+TEST(Pattern, DosGeometryDerivesFromTheMesh)
+{
+    // The Fig. 12 roles must scale to any mesh >= 8x8 instead of
+    // hardcoding the 8x8 node ids.
+    Mesh2D m(12, 10);
+    const auto p = dosPattern(m);
+    ASSERT_EQ(p.flows.size(), 3u);
+    const NodeId hotspot = m.nodeAt(11, 9);
+    EXPECT_EQ(p.flows[0].src, m.nodeAt(0, 0));
+    EXPECT_EQ(p.flows[1].src, m.nodeAt(0, 8));
+    EXPECT_EQ(p.flows[2].src, m.nodeAt(0, 9));
+    for (const auto &f : p.flows) {
+        EXPECT_EQ(f.dst, hotspot);
+        EXPECT_LT(f.src, m.numNodes());
+        EXPECT_DOUBLE_EQ(f.bwShare, 0.25);
+    }
+}
+
+TEST(Pattern, DosRejectsSmallMeshes)
+{
+    EXPECT_DEATH((void)dosPattern(Mesh2D(4, 4)), "8x8");
+}
+
+/// ---------------------------------------------------------------
+/// Property test: every factory, on square, rectangular and
+/// odd-width meshes, yields in-range non-self flows with dense ids.
+/// ---------------------------------------------------------------
+
+struct NamedFactory
+{
+    const char *name;
+    std::function<TrafficPattern(const Mesh2D &)> make;
+};
+
+class PatternProperty
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                std::uint32_t>>
+{
+};
+
+TEST_P(PatternProperty, AllFactoriesProduceValidFlows)
+{
+    const auto [w, h] = GetParam();
+    Mesh2D m(w, h);
+    std::vector<NamedFactory> factories = {
+        {"uniform", uniformPattern},
+        {"transpose", transposePattern},
+        {"bitComplement", bitComplementPattern},
+        {"neighbor", neighborPattern},
+        {"tornado", tornadoPattern},
+        {"shuffle", shufflePattern},
+        {"pathological", pathologicalPattern},
+        {"hotspot",
+         [](const Mesh2D &mm) {
+             return hotspotPattern(mm, mm.numNodes() - 1);
+         }},
+    };
+    if (w >= 8 && h >= 8)
+        factories.push_back({"dos", dosPattern});
+
+    for (const auto &factory : factories) {
+        const TrafficPattern p = factory.make(m);
+        ASSERT_EQ(p.groups.size(), p.flows.size()) << factory.name;
+        for (std::size_t i = 0; i < p.flows.size(); ++i) {
+            const auto &f = p.flows[i];
+            EXPECT_EQ(f.id, i) << factory.name << ": ids must be dense";
+            EXPECT_LT(f.src, m.numNodes()) << factory.name;
+            EXPECT_LT(p.groups[i], p.groupNames.size()) << factory.name;
+            if (f.randomDst())
+                continue;
+            EXPECT_LT(f.dst, m.numNodes())
+                << factory.name << " flow " << i << " on " << w << "x"
+                << h;
+            EXPECT_NE(f.dst, f.src)
+                << factory.name << " flow " << i << " on " << w << "x"
+                << h;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Meshes, PatternProperty,
+    ::testing::Values(std::pair<std::uint32_t, std::uint32_t>{8, 8},
+                      std::pair<std::uint32_t, std::uint32_t>{4, 4},
+                      std::pair<std::uint32_t, std::uint32_t>{6, 4},
+                      std::pair<std::uint32_t, std::uint32_t>{4, 6},
+                      std::pair<std::uint32_t, std::uint32_t>{7, 3},
+                      std::pair<std::uint32_t, std::uint32_t>{5, 5},
+                      std::pair<std::uint32_t, std::uint32_t>{3, 2},
+                      std::pair<std::uint32_t, std::uint32_t>{9, 9}));
 
 TEST(Pattern, FlowIdsAreDense)
 {

@@ -189,6 +189,28 @@ TEST(Determinism, TelemetryExportsAreByteIdenticalForSameSeed)
     EXPECT_EQ(a.telemetry->heatmapCsv(), b.telemetry->heatmapCsv());
 }
 
+TEST(Determinism, InertFaultPlanDoesNotPerturbTheRun)
+{
+    // An inactive FaultPlan must leave the run bit-identical to one
+    // where the fault subsystem does not exist at all: no injector is
+    // built, channels stay plain, and every metric matches.
+    const std::string bare = fingerprint(determinismRun(42));
+
+    Mesh2D mesh(4, 4);
+    TrafficPattern p = uniformPattern(mesh);
+    setEqualSharesByMaxFlows(p.flows, 16);
+
+    RunConfig enabled_no_rates = miniLoft(42);
+    enabled_no_rates.faults.enabled = true; // all rates zero
+    EXPECT_EQ(bare,
+              fingerprint(runExperiment(enabled_no_rates, p, 0.2)));
+
+    RunConfig rates_no_enable = miniLoft(42);
+    rates_no_enable.faults.linkStallRate = 1e-3; // master switch off
+    EXPECT_EQ(bare,
+              fingerprint(runExperiment(rates_no_enable, p, 0.2)));
+}
+
 TEST(Determinism, TelemetryObservationDoesNotPerturbTheRun)
 {
     // The fingerprint of an instrumented run matches the bare run's:

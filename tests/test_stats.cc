@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "sim/stats.hh"
 
@@ -97,6 +99,28 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.bucket(1), 1u);
     EXPECT_EQ(h.bucket(3), 1u);
     EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, HugeAndNonFiniteSamplesLandInOverflow)
+{
+    // Regression: the bucket index was computed by casting x / width to
+    // size_t before the range check — UB for samples whose quotient
+    // exceeds size_t (huge values, inf) and for NaN. All of them must
+    // land in the overflow bucket instead.
+    Histogram h(10.0, 4);
+    h.sample(1e300);
+    h.sample(static_cast<double>(UINT64_MAX) * 20.0);
+    h.sample(std::numeric_limits<double>::infinity());
+    h.sample(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.overflow(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(h.bucket(i), 0u);
+
+    // Ordinary samples keep working alongside.
+    h.sample(15.0);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.overflow(), 4u);
 }
 
 TEST(Histogram, PercentileMonotonic)
