@@ -483,12 +483,28 @@ LoftDataRouter::recoverLostLookaheads(Cycle now)
             if (it == ip.unclaimed.end())
                 continue;
             UnclaimedQuantum &u = it->second;
-            if (u.reissues == 0) {
+            if (!u.detected) {
                 // Timeout fired: the reservation for this data never
                 // materialized — the look-ahead flit must be lost.
+                u.detected = true;
                 NOC_OBSERVE(observer_,
                             onFaultDetected(FaultKind::LookaheadDrop,
                                             id_, u.firstArrival, now));
+            }
+            // Re-synthesize only once the quantum is complete; data
+            // flits of one quantum arrive in order, so the tail marker
+            // or a full quantum's worth of flits closes it. Waiting for
+            // the rest of the quantum (e.g. behind a stalled link) does
+            // not consume re-issue budget.
+            const BufferedFlit &first = u.flits.front();
+            const BufferedFlit &last = u.flits.back();
+            const bool complete =
+                last.flit.quantumLast ||
+                u.flits.size() >= params_.quantumFlits;
+            if (!complete) {
+                u.nextReissueAt =
+                    now + params_.recovery.reissueBackoffCycles;
+                continue;
             }
             if (u.reissues >= params_.recovery.maxReissues) {
                 dropQuantumFlits(p, u.flits, now);
@@ -499,16 +515,6 @@ LoftDataRouter::recoverLostLookaheads(Cycle now)
             u.nextReissueAt =
                 now + (params_.recovery.reissueBackoffCycles
                        << std::min<std::uint32_t>(u.reissues, 6));
-            // Re-synthesize only once the quantum is complete; data
-            // flits of one quantum arrive in order, so the tail marker
-            // or a full quantum's worth of flits closes it.
-            const BufferedFlit &first = u.flits.front();
-            const BufferedFlit &last = u.flits.back();
-            const bool complete =
-                last.flit.quantumLast ||
-                u.flits.size() >= params_.quantumFlits;
-            if (!complete)
-                continue; // retry at the backed-off time
             LookaheadFlit la;
             la.flow = first.flit.flow;
             la.src = first.flit.src;
@@ -524,12 +530,14 @@ LoftDataRouter::recoverLostLookaheads(Cycle now)
             // the arrival estimate is immediately satisfied.
             la.departureSlot = params_.slotOf(u.firstArrival);
             // admitLookahead claims the staged flits and erases the
-            // unclaimed entry on success; `it` is dead either way.
+            // unclaimed entry on success; `it`/`u` are dead after the
+            // call, so take what the observer needs by value first.
+            const Cycle firstArrival = u.firstArrival;
             if (admitLookahead(static_cast<Port>(p), la, now, now)) {
                 ++laReissues_;
                 NOC_OBSERVE(observer_,
                             onFaultRecovered(FaultKind::LookaheadDrop,
-                                             id_, u.firstArrival, now));
+                                             id_, firstArrival, now));
             }
         }
     }

@@ -206,6 +206,8 @@ class LoftDataRouter final : public Clocked
         std::deque<BufferedFlit> flits;
         Cycle firstArrival = 0;
         std::uint32_t reissues = 0;
+        /** Timeout already reported as a detected look-ahead loss. */
+        bool detected = false;
         /** Next recovery attempt (first: firstArrival + timeout). */
         Cycle nextReissueAt = kNeverCycle;
     };

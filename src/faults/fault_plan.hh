@@ -43,9 +43,10 @@ struct FaultPlan
     Cycle stallCycles = 32;
 
     /**
-     * Delay after which a lost/corrupted credit is re-delivered
-     * (modeling periodic credit resynchronization). 0 = one data frame,
-     * resolved by the injector from the network's parameters.
+     * Extra delay, on top of the link latency, after which a
+     * lost/corrupted credit is re-delivered (modeling periodic credit
+     * resynchronization). 0 = one data frame, resolved by the injector
+     * from the network's parameters.
      */
     Cycle resyncLatency = 0;
 

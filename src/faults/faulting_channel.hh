@@ -128,7 +128,9 @@ class FaultingChannel final : public ChannelFaultHook<T>,
                 st.resync = true;
                 st.kind = FaultKind::CreditLoss;
                 st.faultAt = now;
-                ch.deliverAt(now + shared_->resyncLatency,
+                // Resynchronization happens on top of the wire delay: a
+                // "late" re-delivery can never beat an un-faulted send.
+                ch.deliverAt(now + ch.latency() + shared_->resyncLatency,
                              std::move(value));
                 return;
             }
@@ -147,7 +149,7 @@ class FaultingChannel final : public ChannelFaultHook<T>,
                 os.resync = true;
                 os.kind = FaultKind::CreditCorrupt;
                 os.faultAt = now;
-                ch.deliverAt(now + shared_->resyncLatency,
+                ch.deliverAt(now + ch.latency() + shared_->resyncLatency,
                              std::move(value));
                 return;
             }

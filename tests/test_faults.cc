@@ -116,7 +116,10 @@ TEST(FaultingChannel, CreditLossResynchronizesLate)
 
     ch.send(10, ActualCreditMsg{});
     EXPECT_FALSE(ch.ready(11)) << "lost credit must not arrive on time";
-    auto msg = ch.tryReceive(60);
+    // Resync rides on top of the wire delay: send at 10, latency 1,
+    // resyncLatency 50 -> re-delivery at 61, never earlier.
+    EXPECT_FALSE(ch.ready(60));
+    auto msg = ch.tryReceive(61);
     ASSERT_TRUE(msg.has_value());
     EXPECT_TRUE(msg->fault.resync);
     EXPECT_FALSE(msg->fault.corrupted);
@@ -129,12 +132,12 @@ TEST(FaultingChannel, CreditLossResynchronizesLate)
     // The receiver-side CRC check applies the resync and reports the
     // loss as detected + recovered at re-delivery time.
     std::uint64_t discarded = 0;
-    EXPECT_TRUE(acceptCredit(*msg, &obs, 3, 60, discarded));
+    EXPECT_TRUE(acceptCredit(*msg, &obs, 3, 61, discarded));
     EXPECT_EQ(discarded, 0u);
     ASSERT_EQ(obs.detected.size(), 1u);
     EXPECT_EQ(obs.detected[0].kind, FaultKind::CreditLoss);
     ASSERT_EQ(obs.recovered.size(), 1u);
-    EXPECT_EQ(obs.recovered[0].now, 60u);
+    EXPECT_EQ(obs.recovered[0].now, 61u);
 }
 
 TEST(FaultingChannel, CreditCorruptDeliversGarbledCopyThenResync)
@@ -164,13 +167,15 @@ TEST(FaultingChannel, CreditCorruptDeliversGarbledCopyThenResync)
     ASSERT_EQ(obs.detected.size(), 1u);
     EXPECT_EQ(obs.detected[0].kind, FaultKind::CreditCorrupt);
 
-    // The intact original follows at the resynchronization horizon.
-    auto resync = ch.tryReceive(50);
+    // The intact original follows at the resynchronization horizon
+    // (wire latency + resyncLatency after the send).
+    EXPECT_FALSE(ch.ready(50));
+    auto resync = ch.tryReceive(51);
     ASSERT_TRUE(resync.has_value());
     EXPECT_TRUE(resync->fault.resync);
     EXPECT_FALSE(resync->fault.corrupted);
     EXPECT_EQ(resync->departSlot, 7u);
-    EXPECT_TRUE(acceptCredit(*resync, &obs, 5, 50, discarded));
+    EXPECT_TRUE(acceptCredit(*resync, &obs, 5, 51, discarded));
     ASSERT_EQ(obs.recovered.size(), 1u);
     EXPECT_EQ(obs.recovered[0].kind, FaultKind::CreditCorrupt);
 }
