@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Repo-wide determinism & protocol-invariant lint gate (docs/LINT.md).
+#
+# Builds the loft-tidy engine (unless LOFT_TIDY_BIN points at one),
+# runs its four custom checks over every .cc/.hh under src/, and fails
+# if any diagnostic is not covered by tools/loft-tidy/baseline.txt.
+# Baseline entries that no longer fire are reported so the baseline
+# only ever shrinks.
+#
+# The canonical lint input is the compilation database
+# (build/compile_commands.json, exported by the top-level CMakeLists):
+# when present, loft-tidy cross-checks that every src/ file the build
+# compiles is covered by this run.
+#
+# Environment:
+#   LOFT_TIDY_BIN        prebuilt loft-tidy binary (skips the build)
+#   LOFT_LINT_BUILD_DIR  build tree to (re)use           [default: build]
+#   LOFT_LINT_CLANG_TIDY set to 1 to also run stock clang-tidy with the
+#                        repo .clang-tidy profile (requires clang-tidy
+#                        on PATH and the compilation database)
+#
+# Exit status: 0 = clean (modulo baseline), 1 = new diagnostics.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${LOFT_LINT_BUILD_DIR:-$ROOT/build}"
+BASELINE="$ROOT/tools/loft-tidy/baseline.txt"
+cd "$ROOT"
+
+if [[ -z "${LOFT_TIDY_BIN:-}" ]]; then
+    cmake -S "$ROOT" -B "$BUILD_DIR" >/dev/null
+    cmake --build "$BUILD_DIR" --target loft-tidy -j >/dev/null
+    LOFT_TIDY_BIN="$BUILD_DIR/tools/loft-tidy/loft-tidy"
+fi
+if [[ ! -x "$LOFT_TIDY_BIN" ]]; then
+    echo "run_lint.sh: loft-tidy binary not found at $LOFT_TIDY_BIN" >&2
+    exit 2
+fi
+
+ARGS=(--project-root="$ROOT" --quiet)
+COMPILE_COMMANDS="$BUILD_DIR/compile_commands.json"
+if [[ -f "$COMPILE_COMMANDS" ]]; then
+    ARGS+=(--compile-commands="$COMPILE_COMMANDS")
+else
+    echo "run_lint.sh: note: $COMPILE_COMMANDS missing;" \
+         "configure the build first for the coverage cross-check" >&2
+fi
+
+TMPDIR_LINT="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_LINT"' EXIT
+
+mapfile -t FILES < <(find src \( -name '*.cc' -o -name '*.hh' \) | sort)
+if [[ ${#FILES[@]} -eq 0 ]]; then
+    echo "run_lint.sh: no sources found under src/" >&2
+    exit 2
+fi
+
+# The engine exits 1 when it emits diagnostics; the gate's verdict is
+# the baseline diff, so tolerate that exit code here.
+"$LOFT_TIDY_BIN" "${ARGS[@]}" "${FILES[@]}" \
+    > "$TMPDIR_LINT/raw.txt" || true
+sort -u "$TMPDIR_LINT/raw.txt" > "$TMPDIR_LINT/current.txt"
+
+# Baseline format: one diagnostic line per entry; blank lines and
+# '#' comments are ignored.
+grep -v '^[[:space:]]*#' "$BASELINE" 2>/dev/null \
+    | sed '/^[[:space:]]*$/d' | sort -u > "$TMPDIR_LINT/baseline.txt" \
+    || : > "$TMPDIR_LINT/baseline.txt"
+
+NEW="$(comm -13 "$TMPDIR_LINT/baseline.txt" "$TMPDIR_LINT/current.txt")"
+STALE="$(comm -23 "$TMPDIR_LINT/baseline.txt" "$TMPDIR_LINT/current.txt")"
+
+if [[ -n "$STALE" ]]; then
+    echo "run_lint.sh: stale baseline entries (no longer fire —" \
+         "remove them from tools/loft-tidy/baseline.txt):" >&2
+    echo "$STALE" >&2
+fi
+
+if [[ -n "$NEW" ]]; then
+    echo "run_lint.sh: new lint diagnostics (fix them or, only with" \
+         "a written justification in docs/LINT.md, baseline them):" >&2
+    echo "$NEW"
+    exit 1
+fi
+
+if [[ "${LOFT_LINT_CLANG_TIDY:-0}" == "1" ]]; then
+    if ! command -v clang-tidy >/dev/null; then
+        echo "run_lint.sh: LOFT_LINT_CLANG_TIDY=1 but clang-tidy is" \
+             "not on PATH" >&2
+        exit 2
+    fi
+    if [[ ! -f "$COMPILE_COMMANDS" ]]; then
+        echo "run_lint.sh: LOFT_LINT_CLANG_TIDY=1 needs" \
+             "$COMPILE_COMMANDS" >&2
+        exit 2
+    fi
+    echo "run_lint.sh: running stock clang-tidy profile (.clang-tidy)"
+    mapfile -t CCFILES < <(find src -name '*.cc' | sort)
+    clang-tidy -p "$BUILD_DIR" --quiet "${CCFILES[@]}"
+fi
+
+COUNT="$(wc -l < "$TMPDIR_LINT/current.txt")"
+echo "run_lint.sh: clean (${COUNT} diagnostics, all baselined;" \
+     "${#FILES[@]} files)"

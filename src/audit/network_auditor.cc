@@ -58,7 +58,7 @@ NetworkAuditor::record(AuditKind kind, Cycle now, std::string detail)
 {
     ++counts_[static_cast<std::size_t>(kind)];
     if (recorded_.size() < cfg_.maxRecorded)
-        recorded_.push_back({kind, now, std::move(detail)});
+        recorded_.emplace_back(kind, now, std::move(detail));
 }
 
 std::uint64_t
@@ -279,7 +279,7 @@ void
 NetworkAuditor::onPacketDelivered(NodeId node, FlowId flow, PacketId pkt,
                                   Cycle now)
 {
-    deliveries_.push_back({flow, pkt, node, now});
+    deliveries_.emplace_back(flow, pkt, node, now);
 }
 
 // ---------------------------------------------------------------------

@@ -1,5 +1,7 @@
 #include "core/data_router.hh"
 
+#include <algorithm>
+
 #include "sim/debug.hh"
 #include "sim/logging.hh"
 
@@ -475,9 +477,16 @@ LoftDataRouter::recoverLostLookaheads(Cycle now)
         if (ip.unclaimed.empty())
             continue;
         recoveryScratch_.clear();
+        // Key-collection only; the sort below erases the hash order
+        // before anything observable happens.
+        // NOLINTNEXTLINE(loft-unordered-iteration-escape)
         for (const auto &[key, u] : ip.unclaimed)
             if (now >= u.nextReissueAt && !u.flits.empty())
                 recoveryScratch_.push_back(key);
+        // Re-issue in quantum-id order: re-issues compete for output
+        // slots and fire observer events, so hash order would leak
+        // into the fingerprint.
+        std::sort(recoveryScratch_.begin(), recoveryScratch_.end());
         for (std::uint64_t key : recoveryScratch_) {
             auto it = ip.unclaimed.find(key);
             if (it == ip.unclaimed.end())
@@ -552,6 +561,8 @@ LoftDataRouter::scrubStaleRecords(Cycle now)
         if (ip.records.empty())
             continue;
         recoveryScratch_.clear();
+        // Key-collection only; sorted before any mutation below.
+        // NOLINTNEXTLINE(loft-unordered-iteration-escape)
         for (const auto &[key, rec] : ip.records) {
             if (!rec.scheduled || !rec.buffered.empty())
                 continue;
@@ -560,6 +571,7 @@ LoftDataRouter::scrubStaleRecords(Cycle now)
             if (params_.slotStart(rec.departSlot) + timeout <= now)
                 recoveryScratch_.push_back(key);
         }
+        std::sort(recoveryScratch_.begin(), recoveryScratch_.end());
         for (std::uint64_t key : recoveryScratch_) {
             QuantumRecord &rec = ip.records.at(key);
             // The remaining data flits of this quantum never arrived

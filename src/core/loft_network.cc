@@ -228,12 +228,13 @@ LoftNetwork::linkUtilization(Cycle cycles) const
 {
     std::vector<double> out;
     out.reserve(mesh_.numNodes() * kNumPorts);
+    const double denom = static_cast<double>(cycles);
     for (NodeId n = 0; n < mesh_.numNodes(); ++n) {
         for (std::size_t p = 0; p < kNumPorts; ++p) {
             const double flits = static_cast<double>(
                 dataRouters_[n]->portFlitsForwarded(
                     static_cast<Port>(p)));
-            out.push_back(cycles ? flits / cycles : 0.0);
+            out.push_back(cycles ? flits / denom : 0.0);
         }
     }
     return out;

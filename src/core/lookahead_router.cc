@@ -76,7 +76,7 @@ LookaheadRouter::receiveFlits(Cycle now)
             auto &vc = ip.vcs.at(wf->vc);
             if (vc.size() >= params_.laVcDepth)
                 panic("la-router %u: VC overflow on port %zu", id_, p);
-            vc.push_back({wf->flit, now + params_.routerStages - 1});
+            vc.emplace_back(wf->flit, now + params_.routerStages - 1);
         }
     }
 }

@@ -24,7 +24,6 @@
 #include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/loft_params.hh"
@@ -211,7 +210,9 @@ class OutputScheduler
     /** Credit returns for slots beyond the current window. */
     std::map<std::uint64_t, std::uint32_t> futureReturns_;
 
-    std::unordered_map<FlowId, FlowState> flows_;
+    /// Ordered so frame-recycle / reset sweeps visit flows in flow-id
+    /// order regardless of registration history (fingerprint-stable).
+    std::map<FlowId, FlowState> flows_;
     std::uint32_t totalReserved_ = 0;
 
     std::uint64_t outstanding_ = 0;

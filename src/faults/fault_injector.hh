@@ -82,7 +82,7 @@ class FaultInjector
         if (!any)
             return;
         auto site = std::make_unique<FaultingChannel<T>>(
-            &shared_, rates, receiver, faultSeedMix(plan_.seed, linkId));
+            &shared_, rates, receiver, mixSeed(plan_.seed, linkId));
         ch.setFaultHook(site.get());
         sites_.push_back(std::move(site));
 #else

@@ -33,16 +33,6 @@
 namespace noc
 {
 
-/** splitmix64 finalizer: fold @p b into @p a for stream seeding. */
-inline std::uint64_t
-faultSeedMix(std::uint64_t a, std::uint64_t b)
-{
-    std::uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ull);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
-
 /** Geometric inter-arrival gap (>= 1 cycles) for a per-cycle rate. */
 inline Cycle
 faultGap(Rng &rng, double rate)
@@ -99,7 +89,7 @@ class FaultingChannel final : public ChannelFaultHook<T>,
             st.rate = rates[k];
             if (st.rate <= 0.0)
                 continue;
-            st.rng.seed(faultSeedMix(seed, k));
+            st.rng.seed(mixSeed(seed, k));
             st.nextAt = shared_->startCycle + faultGap(st.rng, st.rate);
         }
     }
@@ -189,7 +179,9 @@ class FaultingChannel final : public ChannelFaultHook<T>,
   private:
     struct KindStream
     {
-        Rng rng{0};
+        /// Default-seeded placeholder; re-seeded via mixSeed(seed, k)
+        /// in the constructor before any stream with rate > 0 is drawn.
+        Rng rng;
         double rate = 0.0;
         Cycle nextAt = kNeverCycle;
         bool armed = false;

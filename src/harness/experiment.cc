@@ -23,8 +23,10 @@ RunConfig::applyEnvScale()
         warn("ignoring invalid LOFT_SIM_SCALE=%s", env);
         return;
     }
-    warmupCycles = static_cast<Cycle>(warmupCycles * scale);
-    measureCycles = static_cast<Cycle>(measureCycles * scale);
+    warmupCycles = static_cast<Cycle>(
+        static_cast<double>(warmupCycles) * scale);
+    measureCycles = static_cast<Cycle>(
+        static_cast<double>(measureCycles) * scale);
 }
 
 std::vector<FlowRate>
@@ -71,7 +73,7 @@ effectiveFaultPlan(const RunConfig &config)
     }
     // Fold the run seed in so a seed sweep also sweeps fault
     // sequences while (seed, plan) stays fully reproducible.
-    plan.seed = faultSeedMix(plan.seed, config.seed);
+    plan.seed = mixSeed(plan.seed, config.seed);
     return plan;
 }
 

@@ -71,7 +71,7 @@ class Channel
             return;
         }
 #endif
-        inFlight_.push_back({now + latency_, std::move(value)});
+        inFlight_.emplace_back(now + latency_, std::move(value));
     }
 
     /** True if a value is deliverable at cycle @p now. */

@@ -92,6 +92,7 @@ faultKindName(FaultKind kind)
     return "unknown";
 }
 
+// loft-tidy: observer-base
 class NetObserver
 {
   public:

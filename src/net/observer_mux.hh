@@ -25,6 +25,7 @@
 namespace noc
 {
 
+// loft-tidy: complete-observer(strict)
 class ObserverMux : public NetObserver
 {
   public:

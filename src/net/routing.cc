@@ -31,7 +31,7 @@ xyPath(const Mesh2D &mesh, NodeId src, NodeId dst)
     NodeId here = src;
     for (;;) {
         const Port out = xyRoute(mesh, here, dst);
-        path.push_back({here, out});
+        path.emplace_back(here, out);
         if (out == Port::Local)
             break;
         here = mesh.neighbor(here, out);

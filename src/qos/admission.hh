@@ -12,8 +12,8 @@
 #ifndef NOC_QOS_ADMISSION_HH
 #define NOC_QOS_ADMISSION_HH
 
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/loft_params.hh"
@@ -81,7 +81,9 @@ class AdmissionController
     const Mesh2D &mesh_;
     LoftParams params_;
     std::vector<LinkState> links_;
-    std::unordered_map<FlowId, Admission> admitted_;
+    /// Ordered so admittedFlows() reports in flow-id order rather than
+    /// hash order (the vector escapes into experiment setup).
+    std::map<FlowId, Admission> admitted_;
 };
 
 } // namespace noc

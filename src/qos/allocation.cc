@@ -1,6 +1,5 @@
 #include "qos/allocation.hh"
 
-#include <unordered_map>
 
 #include "net/routing.hh"
 #include "sim/logging.hh"

@@ -21,6 +21,10 @@
 namespace noc
 {
 
+// Intentional intermediate base: GsfSourceUnit layers frame-window
+// throttling on top of the wormhole source (devirtualization happens
+// at the leaf, which the lint check requires to be final).
+// loft-tidy: clocked-base
 class SourceUnit : public Clocked
 {
   public:

@@ -116,7 +116,8 @@ WormholeRouter::receiveFlits(Cycle now)
             NOC_OBSERVE(observer_,
                         onFlitArrived(id_, static_cast<Port>(p),
                                       wf->flit, false, now));
-            v.buffer.push_back({wf->flit, now + params_.routerStages - 1});
+            v.buffer.emplace_back(wf->flit,
+                                  now + params_.routerStages - 1);
         }
     }
 }
@@ -125,7 +126,7 @@ void
 WormholeRouter::switchAllocAndTraverse(Cycle now)
 {
     // Stage 1: each input port nominates one eligible VC.
-    std::array<std::size_t, kNumPorts> candidate{};
+    std::array<std::uint32_t, kNumPorts> candidate{};
     std::array<bool, kNumPorts> hasCandidate{};
     hasCandidate.fill(false);
 
@@ -151,7 +152,7 @@ WormholeRouter::switchAllocAndTraverse(Cycle now)
             ? inputArb_[p].arbitrate(req, keys)
             : inputArb_[p].arbitrate(req);
         if (win != RoundRobinArbiter::npos) {
-            candidate[p] = win;
+            candidate[p] = static_cast<std::uint32_t>(win);
             hasCandidate[p] = true;
         }
     }
@@ -191,7 +192,7 @@ WormholeRouter::switchAllocAndTraverse(Cycle now)
         --o.credits;
         if (creditReturn_[win])
             creditReturn_[win]->send(
-                now, Credit{static_cast<std::uint32_t>(candidate[win])});
+                now, Credit{candidate[win]});
 
         if (flit.isTail()) {
             v.state = VCState::Idle;
@@ -250,7 +251,8 @@ WormholeRouter::vcAlloc(Cycle now)
             v.outVC = ovcIdx;
             o.allocated = true;
             o.ownerPort = win / params_.numVCs;
-            o.ownerVC = win % params_.numVCs;
+            o.ownerVC =
+                static_cast<std::uint32_t>(win % params_.numVCs);
         }
     }
 }

@@ -19,6 +19,24 @@ namespace noc
  * xoshiro256** generator. Satisfies the essentials of
  * UniformRandomBitGenerator so it can also feed <random> adaptors.
  */
+/**
+ * splitmix64 finalizer: fold @p b into @p a.
+ *
+ * The one blessed way to derive an independent RNG stream from a parent
+ * seed (per run, per link, per fault class, ...). Constructing or
+ * seeding an Rng from a raw literal or another engine's output couples
+ * streams and breaks the bit-identity guarantee; the
+ * `loft-rng-stream-discipline` lint check (docs/LINT.md) flags it.
+ */
+constexpr std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 class Rng
 {
   public:

@@ -168,6 +168,7 @@ TelemetryCollector::schedLane(const OutputScheduler &sched)
               name.c_str(), node, numNodes_);
     const std::size_t idx = laneIndex(node, lane);
     schedLanes_.emplace(&sched, idx);
+    schedByLane_.emplace_back(&sched, idx);
     return idx;
 }
 
@@ -413,8 +414,10 @@ TelemetryCollector::closeEpoch(Cycle end)
 {
     // Refresh the reservation-table occupancy gauges from the live
     // schedulers (event replay would drift: frame recycling drops
-    // stale bookings without an event). Purely const access.
-    for (const auto &[sched, idx] : schedLanes_) {
+    // stale bookings without an event). Purely const access, walked in
+    // registration order (schedLanes_ is pointer-keyed, so its own
+    // iteration order would depend on allocation addresses).
+    for (const auto &[sched, idx] : schedByLane_) {
         std::uint64_t n = 0;
         sched->forEachBooking([&n](Slot, const SlotBooking &) { ++n; });
         cur_[idx].tableOccupancy = n;

@@ -69,7 +69,7 @@ class Trace
  * the construction-time start cycle); packets refused by a full NI are
  * retried every cycle, preserving order per flow.
  */
-class TraceReplayer : public Clocked
+class TraceReplayer final : public Clocked
 {
   public:
     TraceReplayer(Network &network, const Trace &trace);

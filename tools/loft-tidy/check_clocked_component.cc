@@ -1,0 +1,144 @@
+/**
+ * @file
+ * loft-clocked-component
+ *
+ * Two structural invariants on clock-driven components:
+ *
+ *  1. Concrete subclasses of `Clocked` must be `final`. The PR-3
+ *     hot-path work relies on devirtualized tick()/quiescent()
+ *     dispatch at the leaves; a non-final subclass silently reopens
+ *     the virtual call on the hottest loop in the simulator.
+ *     Intentional intermediate bases (SourceUnit under GsfSourceUnit)
+ *     are annotated `// loft-tidy: clocked-base`.
+ *
+ *  2. No mutable static state inside a Clocked component (class-level
+ *     or function-local). Static state is shared across the parallel
+ *     sweep's thread pool, so writes from concurrently simulated runs
+ *     race and poison bit-identity. `static const` / `static
+ *     constexpr` are fine.
+ */
+
+#include "checks.hh"
+
+#include <algorithm>
+
+namespace loft_tidy
+{
+
+namespace
+{
+
+/** True if the static declaration starting after @p i is a function
+ *  (an identifier immediately followed by '(' before any ; = or {). */
+bool
+looksLikeFunction(const FileUnit &u, std::size_t i, std::size_t end)
+{
+    int angle = 0;
+    for (std::size_t j = i; j < end; ++j) {
+        const Token &t = u.tok(j);
+        if (t.kind == Token::Kind::Punct) {
+            if (t.text == "<")
+                ++angle;
+            else if (t.text == ">")
+                --angle;
+            else if (angle == 0 &&
+                     (t.text == ";" || t.text == "=" || t.text == "{"))
+                return false;
+            else if (angle == 0 && t.text == "(")
+                return j > i &&
+                       u.tok(j - 1).kind == Token::Kind::Ident;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+void
+checkClockedComponent(const Context &ctx, std::vector<Diagnostic> &out)
+{
+    // Transitive closure of "derives from Clocked": an intermediate
+    // base (SourceUnit) makes its own subclasses clocked components
+    // too, even though their base lists never name Clocked directly.
+    std::set<std::string> clockedLike{ctx.clockedBase};
+    bool grew = true;
+    auto growFrom = [&](const FileUnit &u) {
+        for (const ClassDecl &cls : findClasses(u)) {
+            if (clockedLike.count(cls.name))
+                continue;
+            for (const std::string &b : cls.baseNames) {
+                if (clockedLike.count(b)) {
+                    clockedLike.insert(cls.name);
+                    grew = true;
+                    break;
+                }
+            }
+        }
+    };
+    while (grew) {
+        grew = false;
+        for (const FileUnit &u : ctx.units)
+            growFrom(u);
+        for (const FileUnit &u : ctx.auxUnits)
+            growFrom(u);
+    }
+
+    for (const FileUnit &u : ctx.units) {
+        const auto annotations = findAnnotations(u);
+        for (const ClassDecl &cls : findClasses(u)) {
+            const bool derivesClocked = std::any_of(
+                cls.baseNames.begin(), cls.baseNames.end(),
+                [&](const std::string &b) {
+                    return clockedLike.count(b) != 0;
+                });
+            if (!derivesClocked)
+                continue;
+
+            bool isBaseAnnotated = false;
+            for (const Annotation &a :
+                 annotationsFor(u, cls, annotations))
+                if (a.directive == "clocked-base")
+                    isBaseAnnotated = true;
+
+            if (!cls.isFinal && !isBaseAnnotated) {
+                report(u, cls.line, cls.col, kCheckClockedComponent,
+                       "'" + cls.name + "' derives from '" +
+                           ctx.clockedBase +
+                           "' but is not final: tick()/quiescent() "
+                           "stay virtual on the simulator hot path; "
+                           "mark it final or annotate an intentional "
+                           "base with 'loft-tidy: clocked-base'",
+                       out);
+            }
+
+            // Mutable static state anywhere inside the class body
+            // (members and function-local statics alike).
+            for (std::size_t i = cls.bodyBegin + 1;
+                 i + 1 < cls.bodyEnd; ++i) {
+                const Token &t = u.tok(i);
+                if (t.kind != Token::Kind::Ident ||
+                    t.text != "static")
+                    continue;
+                const std::string &n1 = u.tok(i + 1).text;
+                const std::string &n2 = u.tok(i + 2).text;
+                if (n1 == "constexpr" || n1 == "const" ||
+                    n2 == "constexpr" || n2 == "const")
+                    continue;
+                if (n1 == "assert") // static_assert never splits, but
+                    continue;       // guard against future lexers
+                if (looksLikeFunction(u, i + 1, cls.bodyEnd))
+                    continue;
+                report(u, t.line, t.col, kCheckClockedComponent,
+                       "mutable static state inside Clocked "
+                       "component '" + cls.name +
+                           "': shared across the parallel sweep's "
+                           "worker threads, racing between "
+                           "concurrently simulated runs; make it a "
+                           "member or const",
+                       out);
+            }
+        }
+    }
+}
+
+} // namespace loft_tidy

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * loft-rng-stream-discipline
+ *
+ * Every RNG stream in the simulator must be derived from a parent seed
+ * through a splitmix-style mixer (`mixSeed(parent, salt)` in
+ * sim/rng.hh): per-run, per-link, per-fault-class streams then never
+ * collide and never couple, which is what makes `sweepFingerprint`
+ * reproducible from one 64-bit seed.
+ *
+ * Flags:
+ *  - `rand()` / `srand()` / `std::random_device` — nondeterministic or
+ *    process-global state; never allowed in src/;
+ *  - constructing the sim RNG type from a raw numeric literal
+ *    (`Rng r{42}`) — a fixed stream shared by every instance;
+ *  - re-seeding with a raw literal (`r.seed(7)`);
+ *  - copy-constructing one RNG from another (`Rng b(a)` / `Rng b = a`)
+ *    — the classic shared-engine bug: both consumers draw from one
+ *    sequence, so adding a draw in one place perturbs the other.
+ *
+ * Allowed: default construction (placeholder until seeded) and any
+ * construction/seeding whose arguments go through a `*mix*` call or a
+ * non-literal expression (e.g. a constructor parameter).
+ */
+
+#include "checks.hh"
+
+#include <cctype>
+
+namespace loft_tidy
+{
+
+namespace
+{
+
+bool
+containsMixCall(const FileUnit &u, std::size_t begin, std::size_t end)
+{
+    for (std::size_t i = begin; i < end; ++i) {
+        const Token &t = u.tok(i);
+        if (t.kind != Token::Kind::Ident || u.tok(i + 1).text != "(")
+            continue;
+        std::string lower;
+        for (char c : t.text)
+            lower += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        if (lower.find("mix") != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+/** True if tokens [begin, end) are exactly one numeric literal. */
+bool
+isLoneLiteral(const FileUnit &u, std::size_t begin, std::size_t end)
+{
+    return end == begin + 1 &&
+           u.tok(begin).kind == Token::Kind::Number;
+}
+
+/** True if tokens [begin, end) are exactly one identifier == name. */
+bool
+isLoneIdent(const FileUnit &u, std::size_t begin, std::size_t end,
+            std::string *name)
+{
+    if (end == begin + 1 && u.tok(begin).kind == Token::Kind::Ident) {
+        *name = u.tok(begin).text;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+checkRngDiscipline(const Context &ctx, std::vector<Diagnostic> &out)
+{
+    for (const FileUnit &u : ctx.units) {
+        // Names declared as Rng in this unit (for shared-engine copy
+        // detection).
+        std::set<std::string> rngVars;
+
+        for (std::size_t i = 0; i < u.tokens.size(); ++i) {
+            const Token &t = u.tok(i);
+            if (t.kind != Token::Kind::Ident)
+                continue;
+
+            // rand() / srand(): member accesses (x.rand()) excluded.
+            if ((t.text == "rand" || t.text == "srand") &&
+                u.tok(i + 1).text == "(" && u.tok(i - 1).text != "." &&
+                u.tok(i - 1).text != "->") {
+                report(u, t.line, t.col, kCheckRngDiscipline,
+                       "call to '" + t.text +
+                           "()' uses process-global nondeterministic "
+                           "state; use the sim Rng seeded via "
+                           "mixSeed(parent, salt)",
+                       out);
+                continue;
+            }
+            if (t.text == "random_device") {
+                report(u, t.line, t.col, kCheckRngDiscipline,
+                       "std::random_device is nondeterministic by "
+                       "design and breaks run reproducibility; derive "
+                       "streams from the run seed via mixSeed",
+                       out);
+                continue;
+            }
+
+            // .seed(<literal>) without a mix in the argument list.
+            if (t.text == "seed" &&
+                (u.tok(i - 1).text == "." ||
+                 u.tok(i - 1).text == "->") &&
+                u.tok(i + 1).text == "(") {
+                const std::size_t close =
+                    skipBalanced(u, i + 1, "(", ")");
+                if (u.tok(i + 2).kind == Token::Kind::Number &&
+                    !containsMixCall(u, i + 2, close - 1)) {
+                    report(u, t.line, t.col, kCheckRngDiscipline,
+                           "re-seeding an RNG from a raw literal "
+                           "creates a fixed stream shared across "
+                           "instances; derive the seed via "
+                           "mixSeed(parent, salt)",
+                           out);
+                }
+                continue;
+            }
+
+            if (t.text != ctx.rngType)
+                continue;
+            // `Rng::Rng(...)` definition or other qualified use.
+            if (u.tok(i + 1).text == "::")
+                continue;
+
+            std::size_t j = i + 1;
+            while (u.tok(j).text == "&" || u.tok(j).text == "*" ||
+                   u.tok(j).text == "const")
+                ++j;
+
+            std::string varName;
+            if (u.tok(j).kind == Token::Kind::Ident) {
+                varName = u.tok(j).text;
+                ++j;
+            }
+
+            const std::string &openTxt = u.tok(j).text;
+            if (openTxt == ";" || openTxt == ",") {
+                // Default-constructed member/variable: fine (must be
+                // seeded before use; that is a runtime property).
+                if (!varName.empty())
+                    rngVars.insert(varName);
+                continue;
+            }
+            if (openTxt == "=" && !varName.empty()) {
+                // `Rng b = a;` — flag when a is a known Rng.
+                std::string rhs;
+                std::size_t semi = j + 1;
+                while (semi < u.tokens.size() &&
+                       u.tok(semi).text != ";")
+                    ++semi;
+                rngVars.insert(varName);
+                if (isLoneIdent(u, j + 1, semi, &rhs) &&
+                    rngVars.count(rhs)) {
+                    report(u, t.line, t.col, kCheckRngDiscipline,
+                           "'" + varName + "' copies the RNG stream "
+                           "of '" + rhs + "'; both would draw from "
+                           "one sequence — derive an independent "
+                           "stream via Rng(mixSeed(parent, salt))",
+                           out);
+                } else if (isLoneLiteral(u, j + 1, semi)) {
+                    report(u, t.line, t.col, kCheckRngDiscipline,
+                           "RNG constructed from a raw literal seed; "
+                           "derive it via mixSeed(parent, salt) so "
+                           "streams stay independent",
+                           out);
+                }
+                continue;
+            }
+            if (openTxt != "(" && openTxt != "{")
+                continue;
+            const char *closeTxt = openTxt == "(" ? ")" : "}";
+            const std::size_t close =
+                skipBalanced(u, j, openTxt.c_str(), closeTxt);
+            const std::size_t abegin = j + 1;
+            const std::size_t aend = close - 1;
+            if (!varName.empty())
+                rngVars.insert(varName);
+
+            if (abegin >= aend)
+                continue; // empty: default construction
+            if (containsMixCall(u, abegin, aend))
+                continue; // blessed derivation
+            if (isLoneLiteral(u, abegin, aend)) {
+                report(u, t.line, t.col, kCheckRngDiscipline,
+                       "RNG constructed from a raw literal seed; "
+                       "derive it via mixSeed(parent, salt) so "
+                       "streams stay independent",
+                       out);
+                continue;
+            }
+            std::string src;
+            if (isLoneIdent(u, abegin, aend, &src) &&
+                rngVars.count(src)) {
+                report(u, t.line, t.col, kCheckRngDiscipline,
+                       "RNG copy-constructed from '" + src +
+                           "' shares its stream; derive an "
+                           "independent one via "
+                           "Rng(mixSeed(parent, salt))",
+                       out);
+            }
+        }
+    }
+}
+
+} // namespace loft_tidy

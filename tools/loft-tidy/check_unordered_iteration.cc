@@ -1,0 +1,157 @@
+/**
+ * @file
+ * loft-unordered-iteration-escape
+ *
+ * Flags range-for and iterator loops over `std::unordered_map` /
+ * `std::unordered_set` (and their multi variants). Iteration order of
+ * these containers is implementation-defined — and for pointer keys,
+ * allocation-dependent — so any loop whose effects can reach
+ * RunResult, a telemetry export, or an observer hook breaks the
+ * bit-identical `sweepFingerprint` guarantee.
+ *
+ * A lexical engine cannot prove which loop bodies escape, so every
+ * iteration is flagged; provably order-insensitive loops carry a
+ * `// NOLINT(loft-unordered-iteration-escape)` with a justification
+ * (see docs/LINT.md). Fixes prefer std::map, a sorted snapshot, or a
+ * flat vector keyed by port/link id.
+ *
+ * Declarations are harvested from the unit itself plus its resolved
+ * project headers, so a member declared in `foo.hh` is recognized when
+ * `foo.cc` iterates it.
+ */
+
+#include "checks.hh"
+
+namespace loft_tidy
+{
+
+namespace
+{
+
+bool
+isUnorderedTypeName(const std::string &t)
+{
+    return t == "unordered_map" || t == "unordered_set" ||
+           t == "unordered_multimap" || t == "unordered_multiset";
+}
+
+/** Collect names declared with an unordered container type. */
+void
+collectUnorderedNames(const FileUnit &u, std::set<std::string> &names)
+{
+    for (std::size_t i = 0; i < u.tokens.size(); ++i) {
+        const Token &t = u.tok(i);
+        if (t.kind != Token::Kind::Ident ||
+            !isUnorderedTypeName(t.text))
+            continue;
+        std::size_t j = i + 1;
+        if (u.tok(j).text != "<")
+            continue;
+        j = skipBalanced(u, j, "<", ">");
+        // Skip declarator decorations.
+        while (u.tok(j).text == "*" || u.tok(j).text == "&" ||
+               u.tok(j).text == "const")
+            ++j;
+        if (u.tok(j).kind != Token::Kind::Ident)
+            continue;
+        const std::string &name = u.tok(j).text;
+        const std::string &after = u.tok(j + 1).text;
+        if (after == ";" || after == "=" || after == "{" ||
+            after == "," || after == ")")
+            names.insert(name);
+    }
+}
+
+/** Find the top-level `:` of a range-for header (never `::`). */
+std::size_t
+findRangeColon(const FileUnit &u, std::size_t begin, std::size_t end)
+{
+    int depth = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+        const Token &t = u.tok(i);
+        if (t.kind != Token::Kind::Punct)
+            continue;
+        if (t.text == "(" || t.text == "[" || t.text == "{")
+            ++depth;
+        else if (t.text == ")" || t.text == "]" || t.text == "}")
+            --depth;
+        else if (t.text == ":" && depth == 0)
+            return i;
+    }
+    return end;
+}
+
+} // namespace
+
+void
+checkUnorderedIteration(const Context &ctx, std::vector<Diagnostic> &out)
+{
+    for (std::size_t ui = 0; ui < ctx.units.size(); ++ui) {
+        const FileUnit &u = ctx.units[ui];
+
+        // Declarations visible to this unit: its own plus those of its
+        // transitive project includes. Name-based matching within that
+        // scope is a deliberate over-approximation (see docs/LINT.md);
+        // scoping per include graph keeps a `flows_` declared
+        // unordered in one subsystem from contaminating a vector of
+        // the same name in another.
+        std::set<std::string> unordered;
+        collectUnorderedNames(u, unordered);
+        if (ui < ctx.includesOf.size())
+            for (const FileUnit *inc : ctx.includesOf[ui])
+                collectUnorderedNames(*inc, unordered);
+        for (std::size_t i = 0; i < u.tokens.size(); ++i) {
+            if (u.tok(i).kind != Token::Kind::Ident ||
+                u.tok(i).text != "for" || u.tok(i + 1).text != "(")
+                continue;
+            const std::size_t open = i + 1;
+            const std::size_t close = skipBalanced(u, open, "(", ")");
+            const std::size_t colon =
+                findRangeColon(u, open + 1, close - 1);
+
+            if (colon < close - 1) {
+                // Range-for: the iterated entity is the last token
+                // chain of the header; match its final identifier.
+                const Token &last = u.tok(close - 2);
+                if (last.kind == Token::Kind::Ident &&
+                    unordered.count(last.text)) {
+                    report(u, u.tok(i).line, u.tok(i).col,
+                           kCheckUnorderedIteration,
+                           "range-for over unordered container '" +
+                               last.text +
+                               "' has implementation-defined order "
+                               "that can escape into fingerprinted "
+                               "state; use std::map, a sorted "
+                               "snapshot, or a flat keyed vector",
+                           out);
+                }
+            } else {
+                // Classic for: look for `NAME.begin(` / `NAME.cbegin(`
+                // over an unordered NAME inside the header.
+                for (std::size_t k = open + 1; k + 2 < close; ++k) {
+                    if (u.tok(k).kind == Token::Kind::Ident &&
+                        unordered.count(u.tok(k).text) &&
+                        (u.tok(k + 1).text == "." ||
+                         u.tok(k + 1).text == "->") &&
+                        (u.tok(k + 2).text == "begin" ||
+                         u.tok(k + 2).text == "cbegin")) {
+                        report(u, u.tok(i).line, u.tok(i).col,
+                               kCheckUnorderedIteration,
+                               "iterator loop over unordered "
+                               "container '" + u.tok(k).text +
+                                   "' has implementation-defined "
+                                   "order that can escape into "
+                                   "fingerprinted state; use "
+                                   "std::map, a sorted snapshot, or "
+                                   "a flat keyed vector",
+                               out);
+                        break;
+                    }
+                }
+            }
+            i = close - 1;
+        }
+    }
+}
+
+} // namespace loft_tidy

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The four LOFT protocol-invariant checks and their shared scaffolding.
+ *
+ * Each check mirrors the clang-tidy check of the same name described in
+ * docs/LINT.md and emits clang-tidy-compatible diagnostics
+ * (`file:line:col: warning: message [check-name]`). Suppression follows
+ * clang-tidy conventions: `// NOLINT(check)` on the flagged line or
+ * `// NOLINTNEXTLINE(check)` on the line above.
+ *
+ * Structural expectations are communicated through `loft-tidy:`
+ * annotation comments:
+ *   - `loft-tidy: observer-base`            the class whose virtual
+ *     `on*` methods form the hook vocabulary;
+ *   - `loft-tidy: complete-observer`        class must override or
+ *     explicitly waive every hook;
+ *   - `loft-tidy: complete-observer(strict)` class must override every
+ *     hook, waivers are not allowed (the ObserverMux contract);
+ *   - `loft-tidy: hook-ignored(onFoo)`      conscious waiver of one
+ *     hook on a complete-observer class;
+ *   - `loft-tidy: clocked-base`             intentional non-final
+ *     intermediate Clocked base class.
+ */
+
+#ifndef LOFT_TIDY_CHECKS_HH
+#define LOFT_TIDY_CHECKS_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+
+namespace loft_tidy
+{
+
+struct Diagnostic
+{
+    std::string file;
+    int line = 0;
+    int col = 0;
+    std::string message;
+    std::string check;
+
+    bool operator<(const Diagnostic &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        if (col != o.col)
+            return col < o.col;
+        if (check != o.check)
+            return check < o.check;
+        return message < o.message;
+    }
+};
+
+/** Everything a check may look at. */
+struct Context
+{
+    /** Units diagnostics are emitted for (the explicit inputs). */
+    std::vector<FileUnit> units;
+    /** Units loaded only for declarations (resolved project headers
+     *  of the inputs); no diagnostics are emitted for these. */
+    std::vector<FileUnit> auxUnits;
+    /** Per input unit: the FileUnits of its transitive quoted
+     *  includes (pointers into units or auxUnits). Declaration
+     *  visibility is scoped through this graph so a name declared in
+     *  an unrelated header cannot contaminate another unit. */
+    std::vector<std::vector<const FileUnit *>> includesOf;
+    /** Name of the simulator RNG type (loft-rng-stream-discipline). */
+    std::string rngType = "Rng";
+    /** Name of the clocked-component base (loft-clocked-component). */
+    std::string clockedBase = "Clocked";
+};
+
+/** Check names, as they appear in diagnostics and NOLINT lists. */
+inline constexpr char kCheckUnorderedIteration[] =
+    "loft-unordered-iteration-escape";
+inline constexpr char kCheckObserverParity[] =
+    "loft-observer-hook-parity";
+inline constexpr char kCheckRngDiscipline[] =
+    "loft-rng-stream-discipline";
+inline constexpr char kCheckClockedComponent[] =
+    "loft-clocked-component";
+
+void checkUnorderedIteration(const Context &ctx,
+                             std::vector<Diagnostic> &out);
+void checkObserverParity(const Context &ctx,
+                         std::vector<Diagnostic> &out);
+void checkRngDiscipline(const Context &ctx,
+                        std::vector<Diagnostic> &out);
+void checkClockedComponent(const Context &ctx,
+                           std::vector<Diagnostic> &out);
+
+// ---------------------------------------------------------------------
+// Shared parsing helpers (defined in checks_common.cc)
+// ---------------------------------------------------------------------
+
+/** Index just past the matching closer for the opener at @p open. */
+std::size_t skipBalanced(const FileUnit &u, std::size_t open,
+                         const char *openTok, const char *closeTok);
+
+/** A lexically discovered class/struct definition. */
+struct ClassDecl
+{
+    std::string name;
+    int line = 0;
+    int col = 0;
+    bool isFinal = false;
+    std::vector<std::string> baseNames; ///< idents in the base clause
+    std::size_t bodyBegin = 0;          ///< index of the '{'
+    std::size_t bodyEnd = 0;            ///< index just past the '}'
+};
+
+/** All class/struct definitions (with bodies) in @p u, in order. */
+std::vector<ClassDecl> findClasses(const FileUnit &u);
+
+/** One `loft-tidy: directive(arg)` annotation comment. */
+struct Annotation
+{
+    int line = 0;
+    std::string directive; ///< e.g. "complete-observer"
+    std::string arg;       ///< e.g. "strict" / "onFoo" (may be empty)
+};
+
+std::vector<Annotation> findAnnotations(const FileUnit &u);
+
+/** Annotations attached to @p cls: inside its body, or in the comment
+ *  block immediately above its declaration. */
+std::vector<Annotation> annotationsFor(const FileUnit &u,
+                                       const ClassDecl &cls,
+                                       const std::vector<Annotation> &all);
+
+/** True if a NOLINT / NOLINTNEXTLINE comment suppresses @p check at
+ *  @p line of @p u. */
+bool suppressed(const FileUnit &u, int line, const std::string &check);
+
+/** Emit unless suppressed. */
+void report(const FileUnit &u, int line, int col,
+            const std::string &check, const std::string &message,
+            std::vector<Diagnostic> &out);
+
+} // namespace loft_tidy
+
+#endif // LOFT_TIDY_CHECKS_HH

@@ -1,0 +1,183 @@
+#include "checks.hh"
+
+#include <algorithm>
+
+namespace loft_tidy
+{
+
+std::size_t
+skipBalanced(const FileUnit &u, std::size_t open, const char *openTok,
+             const char *closeTok)
+{
+    int depth = 0;
+    std::size_t i = open;
+    for (; i < u.tokens.size(); ++i) {
+        const Token &t = u.tok(i);
+        if (t.kind == Token::Kind::Punct) {
+            if (t.text == openTok)
+                ++depth;
+            else if (t.text == closeTok && --depth == 0)
+                return i + 1;
+        }
+    }
+    return i;
+}
+
+std::vector<ClassDecl>
+findClasses(const FileUnit &u)
+{
+    std::vector<ClassDecl> out;
+    for (std::size_t i = 0; i < u.tokens.size(); ++i) {
+        const Token &kw = u.tok(i);
+        if (kw.kind != Token::Kind::Ident ||
+            (kw.text != "class" && kw.text != "struct"))
+            continue;
+        // `enum class` is not a class definition.
+        if (i > 0 && u.tok(i - 1).text == "enum")
+            continue;
+        std::size_t j = i + 1;
+        if (u.tok(j).kind != Token::Kind::Ident)
+            continue; // anonymous / elaborated use
+        ClassDecl cls;
+        cls.name = u.tok(j).text;
+        cls.line = u.tok(j).line;
+        cls.col = u.tok(j).col;
+        ++j;
+        // Scan the (optional) final specifier and base clause up to the
+        // body. A `;` means forward declaration; `(` or `=` means this
+        // was an expression/declarator use of the keyword — skip both.
+        bool sawColon = false;
+        for (; j < u.tokens.size(); ++j) {
+            const Token &t = u.tok(j);
+            if (t.kind == Token::Kind::Punct) {
+                if (t.text == "{")
+                    break;
+                if (t.text == ";" || t.text == "(" || t.text == ")" ||
+                    t.text == "=" || t.text == "}") {
+                    j = u.tokens.size();
+                    break;
+                }
+                if (t.text == ":")
+                    sawColon = true;
+                if (t.text == "<") {
+                    // templated base: skip its argument list
+                    j = skipBalanced(u, j, "<", ">") - 1;
+                }
+                continue;
+            }
+            if (t.kind == Token::Kind::Ident) {
+                if (t.text == "final" && !sawColon)
+                    cls.isFinal = true;
+                else if (sawColon && t.text != "public" &&
+                         t.text != "protected" && t.text != "private" &&
+                         t.text != "virtual")
+                    cls.baseNames.push_back(t.text);
+            }
+        }
+        if (j >= u.tokens.size())
+            continue;
+        cls.bodyBegin = j;
+        cls.bodyEnd = skipBalanced(u, j, "{", "}");
+        out.push_back(std::move(cls));
+        // Continue scanning *inside* the body too (nested classes are
+        // discovered by the ongoing outer loop).
+    }
+    return out;
+}
+
+std::vector<Annotation>
+findAnnotations(const FileUnit &u)
+{
+    std::vector<Annotation> out;
+    for (const auto &[line, text] : u.commentOnLine) {
+        std::size_t pos = 0;
+        while ((pos = text.find("loft-tidy:", pos)) !=
+               std::string::npos) {
+            pos += 10;
+            while (pos < text.size() && text[pos] == ' ')
+                ++pos;
+            std::size_t end = pos;
+            while (end < text.size() &&
+                   (std::isalnum(static_cast<unsigned char>(
+                        text[end])) ||
+                    text[end] == '-' || text[end] == '_'))
+                ++end;
+            Annotation a;
+            a.line = line;
+            a.directive = text.substr(pos, end - pos);
+            if (end < text.size() && text[end] == '(') {
+                std::size_t close = text.find(')', end);
+                if (close != std::string::npos)
+                    a.arg = text.substr(end + 1, close - end - 1);
+            }
+            if (!a.directive.empty())
+                out.push_back(std::move(a));
+            pos = end;
+        }
+    }
+    return out;
+}
+
+std::vector<Annotation>
+annotationsFor(const FileUnit &u, const ClassDecl &cls,
+               const std::vector<Annotation> &all)
+{
+    const int bodyFirst = u.tok(cls.bodyBegin).line;
+    const int bodyLast = cls.bodyEnd > 0
+        ? u.tok(cls.bodyEnd - 1).line : bodyFirst;
+
+    // The comment block immediately above the declaration: walk up
+    // from the line before `class` while every line carries a comment.
+    int blockTop = cls.line;
+    while (u.commentOnLine.count(blockTop - 1))
+        --blockTop;
+
+    std::vector<Annotation> out;
+    for (const Annotation &a : all) {
+        const bool aboveDecl = a.line >= blockTop && a.line < cls.line;
+        const bool inBody = a.line >= bodyFirst && a.line <= bodyLast;
+        if (aboveDecl || inBody)
+            out.push_back(a);
+    }
+    return out;
+}
+
+bool
+suppressed(const FileUnit &u, int line, const std::string &check)
+{
+    auto matches = [&](const std::string &text, const char *marker) {
+        std::size_t pos = text.find(marker);
+        if (pos == std::string::npos)
+            return false;
+        pos += std::string(marker).size();
+        if (pos >= text.size() || text[pos] != '(')
+            return true; // bare NOLINT: suppress everything
+        std::size_t close = text.find(')', pos);
+        if (close == std::string::npos)
+            return true;
+        const std::string list = text.substr(pos + 1, close - pos - 1);
+        return list.find(check) != std::string::npos ||
+               list.find('*') != std::string::npos;
+    };
+    auto it = u.commentOnLine.find(line);
+    if (it != u.commentOnLine.end() &&
+        it->second.find("NOLINTNEXTLINE") == std::string::npos &&
+        matches(it->second, "NOLINT"))
+        return true;
+    it = u.commentOnLine.find(line - 1);
+    if (it != u.commentOnLine.end() &&
+        matches(it->second, "NOLINTNEXTLINE"))
+        return true;
+    return false;
+}
+
+void
+report(const FileUnit &u, int line, int col, const std::string &check,
+       const std::string &message, std::vector<Diagnostic> &out)
+{
+    if (suppressed(u, line, check))
+        return;
+    out.push_back({u.path, line, col, message, check});
+}
+
+} // namespace loft_tidy

@@ -1,0 +1,263 @@
+#include "lexer.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace loft_tidy
+{
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+namespace
+{
+
+struct Cursor
+{
+    const std::string &s;
+    std::size_t i = 0;
+    int line = 1;
+    int col = 1;
+
+    bool done() const { return i >= s.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        return i + ahead < s.size() ? s[i + ahead] : '\0';
+    }
+    char advance()
+    {
+        char c = s[i++];
+        if (c == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        return c;
+    }
+};
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void
+noteComment(FileUnit &unit, int firstLine, int lastLine,
+            const std::string &text)
+{
+    for (int l = firstLine; l <= lastLine; ++l) {
+        auto &slot = unit.commentOnLine[l];
+        if (!slot.empty())
+            slot += ' ';
+        slot += text;
+    }
+}
+
+/** Consume a preprocessor directive; record quoted #include paths. */
+void
+lexPreprocessor(Cursor &cur, FileUnit &unit)
+{
+    std::string directive;
+    while (!cur.done() && cur.peek() != '\n') {
+        if (cur.peek() == '\\' && cur.peek(1) == '\n') {
+            cur.advance();
+            cur.advance();
+            continue;
+        }
+        directive += cur.advance();
+    }
+    // `# include "foo/bar.hh"` — tolerate interior whitespace.
+    std::size_t p = directive.find_first_not_of(" \t", 1);
+    if (p == std::string::npos ||
+        directive.compare(p, 7, "include") != 0)
+        return;
+    std::size_t q1 = directive.find('"', p + 7);
+    if (q1 == std::string::npos)
+        return;
+    std::size_t q2 = directive.find('"', q1 + 1);
+    if (q2 == std::string::npos)
+        return;
+    unit.quotedIncludes.push_back(
+        directive.substr(q1 + 1, q2 - q1 - 1));
+}
+
+/** Consume a raw string literal body after the opening R". */
+void
+lexRawString(Cursor &cur)
+{
+    std::string delim;
+    while (!cur.done() && cur.peek() != '(')
+        delim += cur.advance();
+    if (!cur.done())
+        cur.advance(); // '('
+    const std::string close = ")" + delim + "\"";
+    std::string window;
+    while (!cur.done()) {
+        window += cur.advance();
+        if (window.size() > close.size())
+            window.erase(0, window.size() - close.size());
+        if (window == close)
+            return;
+    }
+}
+
+} // namespace
+
+FileUnit
+lex(const std::string &path, const std::string &text)
+{
+    FileUnit unit;
+    unit.path = path;
+    Cursor cur{text};
+    bool atLineStart = true;
+
+    while (!cur.done()) {
+        char c = cur.peek();
+        int line = cur.line;
+        int col = cur.col;
+
+        if (c == '\n') {
+            cur.advance();
+            atLineStart = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            cur.advance();
+            continue;
+        }
+        if (c == '#' && atLineStart) {
+            lexPreprocessor(cur, unit);
+            continue;
+        }
+        atLineStart = false;
+
+        // Comments.
+        if (c == '/' && cur.peek(1) == '/') {
+            std::string body;
+            while (!cur.done() && cur.peek() != '\n')
+                body += cur.advance();
+            noteComment(unit, line, line, body);
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            cur.advance();
+            cur.advance();
+            std::string body = "/*";
+            while (!cur.done() &&
+                   !(cur.peek() == '*' && cur.peek(1) == '/'))
+                body += cur.advance();
+            if (!cur.done()) {
+                cur.advance();
+                cur.advance();
+            }
+            body += "*/";
+            noteComment(unit, line, cur.line, body);
+            continue;
+        }
+
+        // Raw strings: R"delim( ... )delim"
+        if (c == 'R' && cur.peek(1) == '"') {
+            cur.advance();
+            cur.advance();
+            lexRawString(cur);
+            unit.tokens.push_back(
+                {Token::Kind::String, "<raw>", line, col});
+            continue;
+        }
+
+        // Identifiers / keywords.
+        if (identStart(c)) {
+            std::string id;
+            while (!cur.done() && identCont(cur.peek()))
+                id += cur.advance();
+            unit.tokens.push_back(
+                {Token::Kind::Ident, std::move(id), line, col});
+            continue;
+        }
+
+        // Numbers (incl. hex, suffixes, digit separators, exponents).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+            std::string num;
+            while (!cur.done()) {
+                char n = cur.peek();
+                if (identCont(n) || n == '.' || n == '\'') {
+                    num += cur.advance();
+                    // exponent sign: 1e-5, 0x1p+3
+                    if ((num.back() == 'e' || num.back() == 'E' ||
+                         num.back() == 'p' || num.back() == 'P') &&
+                        (cur.peek() == '+' || cur.peek() == '-') &&
+                        num.size() > 1 &&
+                        std::isdigit(static_cast<unsigned char>(
+                            num[num.size() - 2])))
+                        num += cur.advance();
+                    continue;
+                }
+                break;
+            }
+            unit.tokens.push_back(
+                {Token::Kind::Number, std::move(num), line, col});
+            continue;
+        }
+
+        // String / char literals.
+        if (c == '"' || c == '\'') {
+            char quote = cur.advance();
+            while (!cur.done() && cur.peek() != quote) {
+                if (cur.peek() == '\\') {
+                    cur.advance();
+                    if (!cur.done())
+                        cur.advance();
+                } else {
+                    cur.advance();
+                }
+            }
+            if (!cur.done())
+                cur.advance();
+            unit.tokens.push_back({quote == '"' ? Token::Kind::String
+                                                : Token::Kind::Char,
+                                   quote == '"' ? "<str>" : "<chr>",
+                                   line, col});
+            continue;
+        }
+
+        // Punctuation: keep `::` and `->` whole, all else single-char.
+        if (c == ':' && cur.peek(1) == ':') {
+            cur.advance();
+            cur.advance();
+            unit.tokens.push_back({Token::Kind::Punct, "::", line, col});
+            continue;
+        }
+        if (c == '-' && cur.peek(1) == '>') {
+            cur.advance();
+            cur.advance();
+            unit.tokens.push_back({Token::Kind::Punct, "->", line, col});
+            continue;
+        }
+        cur.advance();
+        unit.tokens.push_back(
+            {Token::Kind::Punct, std::string(1, c), line, col});
+    }
+    return unit;
+}
+
+} // namespace loft_tidy

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal C++ lexer for the loft-tidy checks.
+ *
+ * This is not a conforming C++ tokenizer — it is exactly strong enough
+ * to drive the four LOFT protocol-invariant checks on this codebase:
+ * identifiers, numbers, strings/chars (including raw strings), and
+ * punctuation, with comments and preprocessor directives captured out
+ * of band (comments carry the NOLINT / `loft-tidy:` annotations, and
+ * `#include "..."` lines drive project-header resolution).
+ *
+ * Deliberate simplifications, relied on by the checks:
+ *  - `::` and `->` are single tokens; every other punctuator is split
+ *    into single characters. In particular `>>` is two `>` tokens so
+ *    nested template argument lists balance without a parser.
+ *  - Preprocessor directives are skipped to end-of-line (with
+ *    continuation support); macro bodies are not checked.
+ */
+
+#ifndef LOFT_TIDY_LEXER_HH
+#define LOFT_TIDY_LEXER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace loft_tidy
+{
+
+struct Token
+{
+    enum class Kind { Ident, Number, String, Char, Punct, Eof };
+
+    Kind kind = Kind::Eof;
+    std::string text;
+    int line = 0; ///< 1-based
+    int col = 0;  ///< 1-based
+};
+
+/** One lexed translation unit (or header). */
+struct FileUnit
+{
+    std::string path;
+    /** Canonical path (include-resolution identity). */
+    std::string canonPath;
+    std::vector<Token> tokens;
+    /** Concatenated comment text whose span touches each line. */
+    std::map<int, std::string> commentOnLine;
+    /** Quoted (project) include paths, in order of appearance. */
+    std::vector<std::string> quotedIncludes;
+
+    /** Bounds-safe token access: out-of-range yields Eof. */
+    const Token &tok(std::size_t i) const
+    {
+        static const Token eof{};
+        return i < tokens.size() ? tokens[i] : eof;
+    }
+};
+
+/** Lex @p text (contents of @p path) into a FileUnit. */
+FileUnit lex(const std::string &path, const std::string &text);
+
+/** Read a file fully; returns false if unreadable. */
+bool readFile(const std::string &path, std::string &out);
+
+} // namespace loft_tidy
+
+#endif // LOFT_TIDY_LEXER_HH

@@ -1,0 +1,32 @@
+// Known-bad fixture for loft-clocked-component.
+//
+// A concrete Clocked subclass left non-final (reopening virtual
+// dispatch on the simulator hot path) that also keeps mutable static
+// state — both a static data member and a function-local static —
+// which races across the parallel sweep's worker threads.
+//
+// Expected: the check fires on the class and on both statics.
+
+using Cycle = unsigned long long;
+
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+    virtual void tick(Cycle now) = 0;
+    virtual bool quiescent() const { return false; }
+};
+
+class LeakyRouter : public Clocked
+{
+  public:
+    void
+    tick(Cycle now) override
+    {
+        static Cycle lastTick = 0; // races across sweep workers
+        lastTick = now;
+        ++ticks_;
+    }
+
+    static unsigned long long ticks_; // shared across instances
+};

@@ -1,0 +1,42 @@
+// Known-good fixture for loft-clocked-component.
+//
+// Leaves are final (devirtualized tick dispatch), the intentional
+// intermediate base carries the clocked-base annotation, and the only
+// statics are constants.
+//
+// Expected: the check stays silent.
+
+using Cycle = unsigned long long;
+
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+    virtual void tick(Cycle now) = 0;
+    virtual bool quiescent() const { return false; }
+};
+
+// Intentional intermediate base (a GSF source layers throttling on a
+// wormhole source).
+// loft-tidy: clocked-base
+class SourceUnit : public Clocked
+{
+  public:
+    void tick(Cycle now) override { lastTick_ = now; }
+
+  protected:
+    Cycle lastTick_ = 0;
+};
+
+class GsfSource final : public SourceUnit
+{
+  public:
+    static constexpr unsigned kWindowFrames = 6;
+    static const unsigned kFrameSlots;
+
+    void
+    tick(Cycle now) override
+    {
+        lastTick_ = now + kWindowFrames;
+    }
+};

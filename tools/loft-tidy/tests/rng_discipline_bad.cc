@@ -1,0 +1,33 @@
+// Known-bad fixture for loft-rng-stream-discipline.
+//
+// Every RNG sin the check knows about: literal seeds, shared engines,
+// literal re-seeds, rand()/srand(), std::random_device.
+//
+// Expected: the check fires on each construction/call below.
+
+#include <cstdlib>
+#include <random>
+
+class Rng
+{
+  public:
+    explicit Rng(unsigned long long seed = 0x9e3779b97f4a7c15ull);
+    void seed(unsigned long long seed);
+    unsigned long long next();
+};
+
+void
+badStreams()
+{
+    Rng fixed(42);          // literal seed: every instance collides
+    Rng braced{0xdeadbeef}; // same, braced
+    Rng parent;
+    Rng shared(parent);     // shared engine: draws couple the streams
+    Rng reseeded;
+    reseeded.seed(7);       // literal re-seed
+
+    std::random_device rd;  // nondeterministic by design
+    int noise = rand();     // process-global state
+    srand(1234);            // process-global state
+    (void)noise;
+}

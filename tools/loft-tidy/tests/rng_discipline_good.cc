@@ -1,0 +1,45 @@
+// Known-good fixture for loft-rng-stream-discipline.
+//
+// Streams are derived from a parent seed through mixSeed (or any
+// *mix* helper), default-constructed placeholders are allowed, and
+// runtime parameters are fine.
+//
+// Expected: the check stays silent.
+
+class Rng
+{
+  public:
+    explicit Rng(unsigned long long seed = 0x9e3779b97f4a7c15ull);
+    void seed(unsigned long long seed);
+    unsigned long long next();
+};
+
+constexpr unsigned long long
+mixSeed(unsigned long long a, unsigned long long b)
+{
+    unsigned long long z = a ^ (b + 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+struct Link
+{
+    Rng rng; ///< default placeholder, re-seeded before use
+
+    void
+    reset(unsigned long long planSeed, unsigned long long linkId)
+    {
+        rng.seed(mixSeed(planSeed, linkId));
+    }
+};
+
+void
+goodStreams(unsigned long long runSeed)
+{
+    Rng fromParam(runSeed);             // runtime parameter: fine
+    Rng derived(mixSeed(runSeed, 3));   // blessed derivation
+    Rng braced{mixSeed(runSeed, 4)};    // blessed, braced
+    Link link;
+    link.reset(runSeed, 17);
+}

@@ -1,0 +1,41 @@
+// Known-bad fixture for loft-unordered-iteration-escape.
+//
+// Both loops below iterate a std::unordered_map in implementation-
+// defined order and let that order escape (into an exported vector and
+// an accumulated checksum) — the exact shape of bug that breaks the
+// bit-identical sweepFingerprint guarantee.
+//
+// Expected: the check fires on the range-for AND the iterator loop.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct RunResult
+{
+    std::vector<std::uint64_t> flowOrder;
+    std::uint64_t checksum = 0;
+};
+
+struct FlowTable
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> flows_;
+
+    void
+    exportTo(RunResult &result) const
+    {
+        for (const auto &[flow, credit] : flows_) {
+            result.flowOrder.push_back(flow);
+            result.checksum = result.checksum * 31 + credit;
+        }
+    }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (auto it = flows_.begin(); it != flows_.end(); ++it)
+            sum = sum * 17 + it->second;
+        return sum;
+    }
+};

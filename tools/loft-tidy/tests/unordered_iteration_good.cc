@@ -1,0 +1,47 @@
+// Known-good fixture for loft-unordered-iteration-escape.
+//
+// The fingerprint-visible walks use a std::map and a sorted snapshot;
+// the one unavoidable unordered walk is order-insensitive key
+// collection, sorted before use, and carries the justified NOLINT.
+//
+// Expected: the check stays silent.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct RunResult
+{
+    std::vector<std::uint64_t> flowOrder;
+    std::uint64_t checksum = 0;
+};
+
+struct FlowTable
+{
+    std::map<std::uint64_t, std::uint64_t> flows_;
+    std::unordered_map<std::uint64_t, std::uint64_t> cache_;
+
+    void
+    exportTo(RunResult &result) const
+    {
+        for (const auto &[flow, credit] : flows_) {
+            result.flowOrder.push_back(flow);
+            result.checksum = result.checksum * 31 + credit;
+        }
+    }
+
+    std::vector<std::uint64_t>
+    sortedCacheKeys() const
+    {
+        std::vector<std::uint64_t> keys;
+        keys.reserve(cache_.size());
+        // Key collection only; sorted below before anything escapes.
+        // NOLINTNEXTLINE(loft-unordered-iteration-escape)
+        for (const auto &[key, value] : cache_)
+            keys.push_back(key);
+        std::sort(keys.begin(), keys.end());
+        return keys;
+    }
+};
