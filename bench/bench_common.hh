@@ -211,7 +211,9 @@ summaryJson(const SweepSummary &s)
         .set("cycles_per_sec", s.cyclesPerSecond)
         .set("p50_run_ms", s.p50RunSeconds * 1e3)
         .set("p99_run_ms", s.p99RunSeconds * 1e3)
-        .set("threads", s.threadsUsed);
+        .set("threads", s.threadsUsed)
+        .set("intra_run_workers", s.intraRunWorkers)
+        .set("hw_threads", s.hwThreads);
     return j;
 }
 

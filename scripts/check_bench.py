@@ -10,9 +10,15 @@ exceeds the tolerance). Absolute numbers are machine-specific, so the
 baseline must have been measured on comparable hardware — CI refreshes
 it via the workflow_dispatch refresh input (see docs/BENCH.md).
 
+Speedup floors are conditioned on the CURRENT host's recorded
+hw_threads: a run that used more workers than hardware threads was
+time-sliced, not parallel, and its wall-clock ratio says nothing about
+the engine, so the floor is skipped (with a notice) rather than
+enforced against a meaningless number.
+
 Usage:
     check_bench.py CURRENT BASELINE [--tolerance 0.25]
-                   [--min-speedup X]
+                   [--min-speedup X] [--min-intra-speedup X]
 """
 
 import argparse
@@ -25,6 +31,8 @@ GATED = [
     ("serial", "cycles_per_sec"),
     ("parallel", "runs_per_sec"),
     ("parallel", "cycles_per_sec"),
+    ("intra", "serial_cycles_per_sec"),
+    ("intra", "parallel_cycles_per_sec"),
 ]
 
 # Reported for context but not gated (too noisy on shared runners).
@@ -33,12 +41,41 @@ INFORMATIONAL = [
     ("serial", "p99_run_ms"),
     ("parallel", "p50_run_ms"),
     ("parallel", "p99_run_ms"),
+    ("intra", "serial_wall_sec"),
+    ("intra", "parallel_wall_sec"),
 ]
 
 
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def check_speedup_floor(label, speedup, workers, hw_threads, floor,
+                        failures):
+    """Enforce a wall-clock speedup floor, or skip it when the host
+    could not have run the workers in parallel."""
+    print(
+        f"  {label}: {speedup:.2f}x on {workers} worker(s) "
+        f"(host has {hw_threads} hardware thread(s))"
+    )
+    if floor <= 0.0:
+        return
+    if workers < 2:
+        print(f"  {label} floor skipped: run used {workers} worker(s)")
+        return
+    if hw_threads < workers:
+        print(
+            f"  {label} floor skipped: {workers} workers on "
+            f"{hw_threads} hardware thread(s) is time-slicing, "
+            "not parallelism"
+        )
+        return
+    if speedup < floor:
+        failures.append(
+            f"{label} {speedup:.2f}x < required {floor:.2f}x "
+            f"on {workers} workers ({hw_threads} hardware threads)"
+        )
 
 
 def main():
@@ -55,8 +92,17 @@ def main():
         "--min-speedup",
         type=float,
         default=0.0,
-        help="minimum required parallel-over-serial speedup "
-        "(0 disables; only meaningful on multi-core runners)",
+        help="minimum required sweep-level parallel-over-serial "
+        "speedup (0 disables; skipped when the host has fewer "
+        "hardware threads than sweep workers)",
+    )
+    ap.add_argument(
+        "--min-intra-speedup",
+        type=float,
+        default=0.0,
+        help="minimum required intra-run (single-simulation) "
+        "partitioned-over-serial speedup (0 disables; skipped when "
+        "the host has fewer hardware threads than intra workers)",
     )
     args = ap.parse_args()
 
@@ -80,6 +126,11 @@ def main():
             "parallel sweep was NOT bit-identical to serial "
             "(correctness bug, not a perf regression)"
         )
+    if not cur.get("intra", {}).get("identical", False):
+        failures.append(
+            "partitioned intra-run was NOT bit-identical to serial "
+            "(correctness bug, not a perf regression)"
+        )
 
     for section, key in GATED:
         c = cur.get(section, {}).get(key)
@@ -98,8 +149,9 @@ def main():
             )
         elif ratio > 1.0 + args.tolerance:
             verdict = "IMPROVED (consider refreshing the baseline)"
+        name = f"{section}.{key}"
         print(
-            f"  {section}.{key:<16} current {c:>12.3g}  "
+            f"  {name:<30} current {c:>12.3g}  "
             f"baseline {b:>12.3g}  {ratio:>5.2f}x  {verdict}"
         )
 
@@ -107,25 +159,29 @@ def main():
         c = cur.get(section, {}).get(key)
         b = base.get(section, {}).get(key)
         if c is not None and b is not None:
+            name = f"{section}.{key}"
             print(
-                f"  {section}.{key:<16} current {c:>12.3g}  "
+                f"  {name:<30} current {c:>12.3g}  "
                 f"baseline {b:>12.3g}  (informational)"
             )
 
-    speedup = cur.get("speedup", 0.0)
-    threads = cur.get("parallel", {}).get("threads", 1)
-    print(f"  speedup: {speedup:.2f}x on {threads} threads")
-    if args.min_speedup > 0.0:
-        if threads < 2:
-            print(
-                "  min-speedup check skipped: parallel run used "
-                f"{threads} thread(s)"
-            )
-        elif speedup < args.min_speedup:
-            failures.append(
-                f"speedup {speedup:.2f}x < required "
-                f"{args.min_speedup:.2f}x on {threads} threads"
-            )
+    hw_threads = cur.get("hw_threads", 1)
+    check_speedup_floor(
+        "sweep speedup",
+        cur.get("speedup", 0.0),
+        cur.get("parallel", {}).get("threads", 1),
+        hw_threads,
+        args.min_speedup,
+        failures,
+    )
+    check_speedup_floor(
+        "intra-run speedup",
+        cur.get("intra", {}).get("speedup", 0.0),
+        cur.get("intra", {}).get("workers", 1),
+        hw_threads,
+        args.min_intra_speedup,
+        failures,
+    )
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

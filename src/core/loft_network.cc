@@ -144,15 +144,28 @@ LoftNetwork::attach(Simulator &sim)
 {
     // Look-ahead routers tick before data routers of the same node so
     // that table writes are visible within the cycle (the two are
-    // co-located hardware blocks).
-    for (auto &r : laRouters_)
-        sim.add(r.get());
-    for (auto &r : dataRouters_)
-        sim.add(r.get());
-    for (auto &s : sources_)
-        sim.add(s.get());
-    for (auto &s : sinks_)
-        sim.add(s.get());
+    // co-located hardware blocks). The shared node id keys them into
+    // the same domain, which preserves that coupling when the mesh is
+    // partitioned across worker threads.
+    for (std::size_t id = 0; id < laRouters_.size(); ++id)
+        sim.add(laRouters_[id].get(), static_cast<NodeId>(id));
+    for (std::size_t id = 0; id < dataRouters_.size(); ++id)
+        sim.add(dataRouters_[id].get(), static_cast<NodeId>(id));
+    for (std::size_t id = 0; id < sources_.size(); ++id)
+        sim.add(sources_[id].get(), static_cast<NodeId>(id));
+    for (std::size_t id = 0; id < sinks_.size(); ++id)
+        sim.add(sinks_[id].get(), static_cast<NodeId>(id));
+    for (auto &ch : dataChannels_)
+        sim.addPort(ch.get());
+    for (auto &ch : actChannels_)
+        sim.addPort(ch.get());
+    for (auto &ch : vcrChannels_)
+        sim.addPort(ch.get());
+    for (auto &ch : laChannels_)
+        sim.addPort(ch.get());
+    for (auto &ch : laCredChannels_)
+        sim.addPort(ch.get());
+    sim.addMerged(&metrics_);
 }
 
 void

@@ -16,6 +16,30 @@ GsfBarrier::GsfBarrier(std::uint32_t window_frames, Cycle barrier_delay)
 void
 GsfBarrier::onPacketAdmitted(std::uint64_t frame, std::uint32_t flits)
 {
+    const int d = par::currentDomain();
+    if (d >= 0 && !deferred_.empty()) {
+        deferred_[static_cast<std::size_t>(d)].push_back(
+            {frame, flits, true});
+        return;
+    }
+    admitNow(frame, flits);
+}
+
+void
+GsfBarrier::onFlitEjected(std::uint64_t frame)
+{
+    const int d = par::currentDomain();
+    if (d >= 0 && !deferred_.empty()) {
+        deferred_[static_cast<std::size_t>(d)].push_back(
+            {frame, 0, false});
+        return;
+    }
+    ejectNow(frame);
+}
+
+void
+GsfBarrier::admitNow(std::uint64_t frame, std::uint32_t flits)
+{
     if (frame < head_ || frame > newestFrame())
         panic("GsfBarrier: admission into inactive frame %llu "
               "(head %llu)", static_cast<unsigned long long>(frame),
@@ -25,7 +49,7 @@ GsfBarrier::onPacketAdmitted(std::uint64_t frame, std::uint32_t flits)
 }
 
 void
-GsfBarrier::onFlitEjected(std::uint64_t frame)
+GsfBarrier::ejectNow(std::uint64_t frame)
 {
     auto it = inFlight_.find(frame);
     if (it == inFlight_.end() || it->second == 0)
@@ -35,6 +59,37 @@ GsfBarrier::onFlitEjected(std::uint64_t frame)
     --totalInFlight_;
     if (it->second == 0)
         inFlight_.erase(it);
+}
+
+void
+GsfBarrier::beginParallel(unsigned domains)
+{
+    deferred_.resize(domains);
+}
+
+void
+GsfBarrier::mergeDomains()
+{
+    // Commutative counter updates: domain order is as good as the
+    // serial interleaving. Ejections can only drain flits admitted in
+    // earlier cycles (channel latency >= 1), so replaying a domain's
+    // ejections before another domain's same-cycle admissions cannot
+    // underflow a count the serial run would not have underflowed.
+    for (std::vector<FrameEvent> &buf : deferred_) {
+        for (const FrameEvent &e : buf) {
+            if (e.admit)
+                admitNow(e.frame, e.flits);
+            else
+                ejectNow(e.frame);
+        }
+        buf.clear();
+    }
+}
+
+void
+GsfBarrier::endParallel()
+{
+    deferred_.clear();
 }
 
 void

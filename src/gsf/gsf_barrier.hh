@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/clocked.hh"
+#include "sim/parallel.hh"
 #include "sim/types.hh"
 
 namespace noc
@@ -23,8 +25,18 @@ namespace noc
  * when the network is empty (an idle network recycles every delay+1
  * cycles), and source quotas replenish on those advances. It therefore
  * keeps Clocked's default quiescent() == false.
+ *
+ * In a partitioned run (DomainMerged) sources and sinks of several
+ * domains report admissions/ejections concurrently; the events are
+ * buffered per domain and replayed at the per-cycle barrier, before
+ * this component's own tick (it is keyless, so it runs in the serial
+ * epilogue). The per-frame counters are sums of commutative +-1/+n
+ * updates and the head frame only moves inside tick(), so a
+ * domain-order replay is state-identical to the serial interleaving,
+ * and the admission-range/underflow panics fire under exactly the same
+ * conditions.
  */
-class GsfBarrier final : public Clocked
+class GsfBarrier final : public Clocked, public DomainMerged
 {
   public:
     GsfBarrier(std::uint32_t window_frames, Cycle barrier_delay);
@@ -49,7 +61,23 @@ class GsfBarrier final : public Clocked
 
     void tick(Cycle now) override;
 
+    // DomainMerged
+    void beginParallel(unsigned domains) override;
+    void mergeDomains() override;
+    void endParallel() override;
+
   private:
+    /** One buffered admission (flits > 0) or ejection (admit false). */
+    struct FrameEvent
+    {
+        std::uint64_t frame = 0;
+        std::uint32_t flits = 0;
+        bool admit = false;
+    };
+
+    void admitNow(std::uint64_t frame, std::uint32_t flits);
+    void ejectNow(std::uint64_t frame);
+
     std::uint32_t window_;
     Cycle delay_;
     std::uint64_t head_ = 0;
@@ -59,6 +87,8 @@ class GsfBarrier final : public Clocked
     /** Cycle at which a pending advance completes (kNeverCycle: none). */
     Cycle advanceAt_ = kNeverCycle;
     std::uint64_t recycles_ = 0;
+    /** Per-domain event buffers; non-empty only in a parallel window. */
+    std::vector<std::vector<FrameEvent>> deferred_;
 };
 
 } // namespace noc

@@ -70,9 +70,13 @@ void
 GsfNetwork::attach(Simulator &sim)
 {
     fabric_.attach(sim);
-    for (auto &s : sources_)
-        sim.add(s.get());
+    for (std::size_t id = 0; id < sources_.size(); ++id)
+        sim.add(sources_[id].get(), static_cast<NodeId>(id));
+    // Keyless: the frame barrier ticks in the serial epilogue, after
+    // this cycle's deferred admissions/ejections have been merged.
     sim.add(&barrier_);
+    sim.addMerged(&barrier_);
+    sim.addMerged(&metrics_);
 }
 
 std::uint64_t

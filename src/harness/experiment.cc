@@ -1,10 +1,12 @@
 #include "harness/experiment.hh"
 
 #include <cstdlib>
+#include <thread>
 
 #include "audit/network_auditor.hh"
 #include "faults/fault_injector.hh"
 #include "faults/fault_monitor.hh"
+#include "net/deferred_observer.hh"
 #include "net/observer_mux.hh"
 #include "sim/logging.hh"
 #include "sim/simulator.hh"
@@ -80,6 +82,25 @@ effectiveFaultPlan(const RunConfig &config)
 namespace
 {
 
+/** Resolve RunConfig::intraRunWorkers (0 = hardware concurrency). */
+unsigned
+resolveWorkers(const RunConfig &config, bool faults_active)
+{
+    unsigned workers = config.intraRunWorkers;
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    if (faults_active && workers > 1) {
+        warn("fault plan active: forcing intraRunWorkers %u -> 1 "
+             "(fault hooks mutate channel state on the send path)",
+             workers);
+        workers = 1;
+    }
+    return workers;
+}
+
 /** Cycles per data frame of the configured network (resync horizon). */
 Cycle
 frameCyclesOf(const RunConfig &config)
@@ -145,11 +166,17 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
             pattern.groupNames);
     }
 
+    const unsigned workers = resolveWorkers(cfg, plan.active());
+
     // The network holds a single observer pointer; with more than one
     // consumer, fan out through a mux. The injector announces its
     // injections to the same sink so the monitor, auditor and
-    // telemetry all see onFaultInjected.
+    // telemetry all see onFaultInjected. A partitioned run interposes
+    // the DeferredObserver so concurrent hook calls are buffered and
+    // replayed downstream in the exact serial order (the injector
+    // cannot coexist with workers > 1, so it keeps the raw sink).
     ObserverMux mux;
+    std::unique_ptr<DeferredObserver> defer;
     {
         std::vector<NetObserver *> sinks;
         if (auditor)
@@ -166,8 +193,12 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
                 mux.add(o);
             sink = &mux;
         }
-        if (sink)
+        if (sink && workers > 1) {
+            defer = std::make_unique<DeferredObserver>(sink);
+            net->setObserver(defer.get());
+        } else if (sink) {
             net->setObserver(sink);
+        }
         if (injector)
             injector->setObserver(sink);
     }
@@ -184,6 +215,9 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
         auditor->attach(sim);
     if (telemetry)
         sim.add(telemetry.get()); // last: samples end-of-cycle state
+    sim.setWorkers(workers);
+    if (defer)
+        sim.addMerged(defer.get());
 
     sim.run(cfg.warmupCycles);
     net->metrics().startMeasurement(sim.now());

@@ -48,6 +48,16 @@ struct RunConfig
     std::size_t wormholeSourceQueueFlits = 0;
 
     /**
+     * Worker threads advancing the mesh inside this single run
+     * (spatial partitioning; see docs/PARALLEL.md). 1 = serial
+     * (default), 0 = hardware concurrency. Results are bit-identical
+     * to a serial run for any worker count. Forced to 1 when a fault
+     * plan is active: fault hooks mutate per-channel state on the send
+     * path and are not domain-buffered.
+     */
+    unsigned intraRunWorkers = 1;
+
+    /**
      * Attach a NetworkAuditor for the run (src/audit). Default on so
      * every experiment doubles as an invariant check; a no-op in
      * builds configured with -DLOFT_AUDIT=OFF, where the hooks the

@@ -75,6 +75,17 @@ struct SweepSummary
     double p50RunSeconds = 0.0;
     double p99RunSeconds = 0.0;
     unsigned threadsUsed = 1;
+    /**
+     * Hardware threads of the executing host (never 0). Recorded so
+     * speedup numbers can be judged: a sweep that used more workers
+     * than hwThreads was time-sliced, not parallel, and its wall-clock
+     * "speedup" is meaningless. This is exactly what flattened the
+     * committed bench baseline to 1.005x — the capture host had a
+     * single hardware thread, so 4 workers bought nothing.
+     */
+    unsigned hwThreads = 1;
+    /** Intra-run workers each case ran with (from the base config). */
+    unsigned intraRunWorkers = 1;
 };
 
 /** A completed sweep: cases, results (parallel, by index), timing. */
@@ -107,6 +118,27 @@ SweepResults runSweep(const SweepConfig &config,
  */
 SweepResults runSweep(const SweepConfig &config,
                       const PatternFactory &make_pattern);
+
+/**
+ * How a worker budget (e.g. LOFT_BENCH_THREADS) splits between the
+ * sweep-level pool and intra-run partitioning. Wide sweeps keep the
+ * budget on the embarrassingly parallel sweep axis; narrow sweeps
+ * (fewer cases than budget) shift the surplus into intra-run workers
+ * so the cores are not idle.
+ */
+struct WorkerSplit
+{
+    unsigned sweepThreads = 1;
+    unsigned intraRunWorkers = 1;
+};
+
+/**
+ * Plan the split of @p budget total workers over @p cases sweep cases:
+ * cases >= budget puts everything on the sweep axis ({budget, 1});
+ * otherwise each case gets floor(budget / cases) intra-run workers.
+ * @p budget 0 is treated as 1.
+ */
+WorkerSplit planWorkerSplit(unsigned budget, std::size_t cases);
 
 /**
  * Serialize every metric of a run bit-exactly (hexfloat). Two runs

@@ -6,6 +6,18 @@
  * latency >= 1 a message sent in cycle t becomes visible no earlier than
  * cycle t+1, which makes the per-cycle tick order of components
  * irrelevant (synchronous-hardware semantics).
+ *
+ * That same property is what makes partitioned execution exact: in
+ * deferred mode (a Simulator window, see sim/parallel.hh) sends are
+ * buffered into a pending list owned by the sending thread and
+ * published at the per-cycle barrier. Since delivery cycles are
+ * stamped at send time and are always in the future, receivers cannot
+ * tell buffered-then-flushed sends from direct ones through
+ * tryReceive(); and because empty() then reflects start-of-cycle state
+ * for every channel, quiescence decisions stop depending on the
+ * per-cycle tick order too. The Simulator therefore runs deferred mode
+ * for ANY worker count (a serial run is the one-domain case), which is
+ * what makes every worker count bit-identical by construction.
  */
 
 #ifndef NOC_NET_CHANNEL_HH
@@ -15,9 +27,11 @@
 #include <deque>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "net/instrument.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "sim/types.hh"
 
 namespace noc
@@ -52,7 +66,7 @@ class ChannelFaultHook
  * channel itself does not enforce it; senders do.
  */
 template <typename T>
-class Channel
+class Channel : public PendingPort
 {
   public:
     explicit Channel(Cycle latency = 1) : latency_(latency)
@@ -71,6 +85,20 @@ class Channel
             return;
         }
 #endif
+        if (concurrent_) {
+            // Buffer on the sending thread; the simulator flushes at
+            // the cycle barrier. Register in the thread's dirty list on
+            // the first pending send so the flush walks only channels
+            // that carried traffic this cycle.
+            std::vector<PendingPort *> *dirty = par::ctx().dirty;
+            if (!dirty)
+                panic("Channel::send in concurrent mode outside a "
+                      "simulation phase");
+            if (pending_.empty())
+                dirty->push_back(this);
+            pending_.emplace_back(now + latency_, std::move(value));
+            return;
+        }
         inFlight_.emplace_back(now + latency_, std::move(value));
     }
 
@@ -121,6 +149,42 @@ class Channel
 
     Cycle latency() const { return latency_; }
 
+    // PendingPort (called by the Simulator, between cycles / at the
+    // per-cycle barrier only).
+
+    bool
+    setConcurrent(bool on) override
+    {
+        if (!pending_.empty())
+            panic("Channel::setConcurrent with unflushed pending sends");
+#if LOFT_AUDIT_ENABLED
+        // Fault hooks mutate channel state on the send path and may
+        // re-deliver out of band (deliverAt), neither of which is
+        // domain-buffered: decline, keeping this channel direct. The
+        // Simulator treats a declined port as fatal when it actually
+        // has concurrent workers (the harness forces fault plans to a
+        // single worker, where direct operation is safe).
+        if (on && faults_) {
+            concurrent_ = false;
+            return false;
+        }
+#endif
+        concurrent_ = on;
+        return true;
+    }
+
+    void
+    flushPending() override
+    {
+        // Same-latency sends deliver in send order, and everything
+        // already in flight was sent in an earlier cycle, so appending
+        // keeps the queue sorted by delivery time.
+        for (auto &entry : pending_)
+            inFlight_.emplace_back(entry.first,
+                                   std::move(entry.second));
+        pending_.clear();
+    }
+
 #if LOFT_AUDIT_ENABLED
     /** Install (or clear) the fault-injection hook. */
     void setFaultHook(ChannelFaultHook<T> *hook) { faults_ = hook; }
@@ -133,6 +197,8 @@ class Channel
     void
     deliverAt(Cycle when, T value)
     {
+        if (concurrent_)
+            panic("Channel::deliverAt in concurrent mode");
         auto it = std::upper_bound(
             inFlight_.begin(), inFlight_.end(), when,
             [](Cycle w, const auto &entry) { return w < entry.first; });
@@ -143,6 +209,9 @@ class Channel
   private:
     Cycle latency_;
     std::deque<std::pair<Cycle, T>> inFlight_;
+    /** Sends buffered during a parallel phase (sender thread only). */
+    std::vector<std::pair<Cycle, T>> pending_;
+    bool concurrent_ = false;
 #if LOFT_AUDIT_ENABLED
     ChannelFaultHook<T> *faults_ = nullptr;
 #endif

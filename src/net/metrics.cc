@@ -40,6 +40,12 @@ MetricsCollector::stopMeasurement(Cycle now)
 void
 MetricsCollector::onFlitEjected(FlowId flow)
 {
+    const int d = par::currentDomain();
+    if (d >= 0 && !deferred_.empty()) {
+        deferred_[static_cast<std::size_t>(d)].push_back(
+            {flow, 0, 0, false});
+        return;
+    }
     if (!measuring_)
         return;
     if (flow >= flows_.size())
@@ -51,6 +57,12 @@ MetricsCollector::onFlitEjected(FlowId flow)
 void
 MetricsCollector::onPacketEjected(FlowId flow, Cycle created_at, Cycle now)
 {
+    const int d = par::currentDomain();
+    if (d >= 0 && !deferred_.empty()) {
+        deferred_[static_cast<std::size_t>(d)].push_back(
+            {flow, created_at, now, true});
+        return;
+    }
     if (!measuring_)
         return;
     if (flow >= flows_.size())
@@ -62,6 +74,35 @@ MetricsCollector::onPacketEjected(FlowId flow, Cycle created_at, Cycle now)
     latencyHist_.sample(latency);
     ++flows_[flow].packetsEjected;
     ++totalPackets_;
+}
+
+void
+MetricsCollector::beginParallel(unsigned domains)
+{
+    deferred_.resize(domains);
+}
+
+void
+MetricsCollector::mergeDomains()
+{
+    // Replay in domain order; see the class comment for why this is
+    // exactly the serial sample order. The replay runs on the main
+    // thread outside any domain, so the hooks take their direct path.
+    for (std::vector<DeferredSample> &buf : deferred_) {
+        for (const DeferredSample &s : buf) {
+            if (s.packet)
+                onPacketEjected(s.flow, s.createdAt, s.now);
+            else
+                onFlitEjected(s.flow);
+        }
+        buf.clear();
+    }
+}
+
+void
+MetricsCollector::endParallel()
+{
+    deferred_.clear();
 }
 
 Cycle

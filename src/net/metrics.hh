@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/parallel.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -40,8 +41,16 @@ struct FlowMetrics
 /**
  * Collects ejection-side measurements. Sinks call the onXxx hooks; the
  * harness turns on measurement after warmup and reads the results.
+ *
+ * In a partitioned run (DomainMerged) sinks of several domains call the
+ * hooks concurrently, so samples are buffered per domain and replayed
+ * at the per-cycle barrier. Only sinks emit samples and sinks are
+ * registered in ascending node-id order while domains are contiguous
+ * id ranges, so replaying domain 0's buffer, then domain 1's, and so
+ * on reproduces the serial sample order exactly — including the
+ * floating-point accumulation order of the latency statistics.
  */
-class MetricsCollector
+class MetricsCollector : public DomainMerged
 {
   public:
     explicit MetricsCollector(std::size_t num_flows = 0);
@@ -95,7 +104,22 @@ class MetricsCollector
     /** Network-wide accepted throughput in flits/cycle/node. */
     double networkThroughput(std::size_t num_nodes) const;
 
+    // DomainMerged
+    void beginParallel(unsigned domains) override;
+    void mergeDomains() override;
+    void endParallel() override;
+
   private:
+    /** One buffered ejection-side sample. */
+    struct DeferredSample
+    {
+        FlowId flow = kInvalidFlow;
+        Cycle createdAt = 0;
+        Cycle now = 0;
+        /** True for a packet (tail) sample, false for a flit sample. */
+        bool packet = false;
+    };
+
     std::vector<FlowMetrics> flows_;
     RunningStat allLatency_;
     LogHistogram latencyHist_{kLatencyHistLo, kLatencyHistHi,
@@ -105,6 +129,8 @@ class MetricsCollector
     bool measuring_ = false;
     Cycle windowStart_ = 0;
     Cycle windowEnd_ = 0;
+    /** Per-domain sample buffers; non-empty only in a parallel window. */
+    std::vector<std::vector<DeferredSample>> deferred_;
 };
 
 } // namespace noc

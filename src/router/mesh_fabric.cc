@@ -87,10 +87,21 @@ MeshFabric::setObserver(NetObserver *obs)
 void
 MeshFabric::attach(Simulator &sim)
 {
-    for (auto &r : routers_)
-        sim.add(r.get());
-    for (auto &s : sinks_)
-        sim.add(s.get());
+    // Node ids key the spatial partition: a node's router and sink
+    // always share a domain, and every channel registers as a port so
+    // parallel runs can buffer cross-domain sends.
+    for (std::size_t id = 0; id < routers_.size(); ++id)
+        sim.add(routers_[id].get(), static_cast<NodeId>(id));
+    for (std::size_t id = 0; id < sinks_.size(); ++id)
+        sim.add(sinks_[id].get(), static_cast<NodeId>(id));
+    for (auto &ch : flitChannels_)
+        sim.addPort(ch.get());
+    for (auto &ch : creditChannels_)
+        sim.addPort(ch.get());
+    for (auto &ch : localIn_)
+        sim.addPort(ch.get());
+    for (auto &ch : localInCredit_)
+        sim.addPort(ch.get());
 }
 
 std::uint64_t

@@ -43,8 +43,9 @@ void
 WormholeNetwork::attach(Simulator &sim)
 {
     fabric_.attach(sim);
-    for (auto &s : sources_)
-        sim.add(s.get());
+    for (std::size_t id = 0; id < sources_.size(); ++id)
+        sim.add(sources_[id].get(), static_cast<NodeId>(id));
+    sim.addMerged(&metrics_);
 }
 
 std::uint64_t

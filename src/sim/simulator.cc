@@ -1,16 +1,111 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
 #include "sim/logging.hh"
 
 namespace noc
 {
+
+/**
+ * The domain plan: which keyed component runs in which domain, plus the
+ * per-domain scratch state a parallel cycle needs. Rebuilt whenever the
+ * registrations or the worker count change.
+ */
+struct Simulator::Plan
+{
+    struct Item
+    {
+        Clocked *component = nullptr;
+        /** Serial registration index (stamps deferred events). */
+        std::uint32_t index = 0;
+    };
+
+    /** Tick/skip counters a domain accumulates without sharing a line. */
+    struct alignas(64) Counters
+    {
+        std::uint64_t executed = 0;
+        std::uint64_t skipped = 0;
+    };
+
+    /** components_[0 .. prologueEnd) run serially before the phase. */
+    std::size_t prologueEnd = 0;
+    /** components_[epilogueBegin .. size) run serially after it. */
+    std::size_t epilogueBegin = 0;
+    /** Keyed components by domain, in registration order. */
+    std::vector<std::vector<Item>> domains;
+    /** Dirty channel lists: one per domain + one for the serial phases. */
+    std::vector<std::vector<PendingPort *>> dirty;
+    std::vector<Counters> counters;
+};
+
+struct Simulator::Pool
+{
+    explicit Pool(std::uint32_t parties) : barrier(parties) {}
+
+    SpinBarrier barrier;
+    std::vector<std::thread> threads;
+    std::atomic<bool> stop{false};
+};
+
+Simulator::Simulator() = default;
+
+Simulator::~Simulator()
+{
+    teardownPool();
+}
 
 void
 Simulator::add(Clocked *component)
 {
     if (!component)
         panic("Simulator::add called with null component");
-    components_.push_back(component);
+    components_.push_back({component, kInvalidNode, false});
+    planDirty_ = true;
+}
+
+void
+Simulator::add(Clocked *component, NodeId spatial_key)
+{
+    if (!component)
+        panic("Simulator::add called with null component");
+    components_.push_back({component, spatial_key, true});
+    planDirty_ = true;
+}
+
+void
+Simulator::addPort(PendingPort *port)
+{
+    if (!port)
+        panic("Simulator::addPort called with null port");
+    ports_.push_back(port);
+    planDirty_ = true;
+}
+
+void
+Simulator::addMerged(DomainMerged *consumer)
+{
+    if (!consumer)
+        panic("Simulator::addMerged called with null consumer");
+    merged_.push_back(consumer);
+    planDirty_ = true;
+}
+
+void
+Simulator::setWorkers(unsigned workers)
+{
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    if (workers == workers_)
+        return;
+    teardownPool();
+    workers_ = workers;
+    planDirty_ = true;
 }
 
 void
@@ -21,13 +116,242 @@ Simulator::step()
     // (a few empty() checks) while tick() walks ports, VCs and
     // reservation tables, so the poll pays for itself whenever any
     // component idles for more than a handful of cycles.
-    for (Clocked *c : components_) {
-        if (c->quiescent()) {
+    for (const Entry &e : components_) {
+        if (e.component->quiescent()) {
             ++ticksSkipped_;
             continue;
         }
-        c->tick(now_);
+        e.component->tick(now_);
         ++ticksExecuted_;
+    }
+    ++now_;
+}
+
+void
+Simulator::preparePlan()
+{
+    plan_ = std::make_unique<Plan>();
+    Plan &plan = *plan_;
+
+    const std::size_t none = components_.size();
+    std::size_t first_keyed = none;
+    std::size_t last_keyed = none;
+    NodeId max_key = 0;
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        if (!components_[i].keyed)
+            continue;
+        if (first_keyed == none)
+            first_keyed = i;
+        last_keyed = i;
+        max_key = std::max(max_key, components_[i].key);
+    }
+
+    if (first_keyed == none) {
+        // Nothing partitionable: everything is prologue.
+        plan.prologueEnd = components_.size();
+        plan.epilogueBegin = components_.size();
+        planDirty_ = false;
+        return;
+    }
+
+    plan.prologueEnd = first_keyed;
+    plan.epilogueBegin = last_keyed + 1;
+    for (std::size_t i = plan.prologueEnd; i < plan.epilogueBegin; ++i) {
+        if (!components_[i].keyed)
+            panic("Simulator: component %zu has no spatial key but is "
+                  "registered between keyed components; register serial "
+                  "components before or after the partitioned mesh",
+                  i);
+    }
+
+    // Contiguous key stripes: domain(key) = key * W / K. Components
+    // sharing a key land in one domain, and within a domain the
+    // registration order — hence the serial execution order — is kept.
+    const std::uint64_t num_keys = static_cast<std::uint64_t>(max_key) + 1;
+    plan.domains.resize(workers_);
+    plan.counters.resize(workers_);
+    plan.dirty.resize(static_cast<std::size_t>(workers_) + 1);
+    for (std::size_t i = plan.prologueEnd; i < plan.epilogueBegin; ++i) {
+        const std::uint64_t d =
+            static_cast<std::uint64_t>(components_[i].key) * workers_ /
+            num_keys;
+        plan.domains[static_cast<std::size_t>(d)].push_back(
+            {components_[i].component, static_cast<std::uint32_t>(i)});
+    }
+    planDirty_ = false;
+}
+
+bool
+Simulator::beginParallelWindow()
+{
+    if (planDirty_) {
+        teardownPool();
+        preparePlan();
+    }
+    if (plan_->epilogueBegin <= plan_->prologueEnd)
+        return false; // no keyed components: run serially
+
+    // Deferred mode is the canonical semantics whenever the network
+    // registered its channels: even a one-worker run buffers sends and
+    // flushes them at end-of-cycle, so quiescence probes always see
+    // start-of-cycle state and every worker count is bit-identical.
+    deferredPorts_.clear();
+    deferredPorts_.reserve(ports_.size());
+    for (PendingPort *p : ports_) {
+        if (p->setConcurrent(true))
+            deferredPorts_.push_back(p);
+    }
+    if (deferredPorts_.size() != ports_.size()) {
+        // Some channel declined (fault-instrumented). Safe on a single
+        // thread — fall back to the legacy direct step — but fatal with
+        // concurrent workers.
+        for (PendingPort *p : deferredPorts_)
+            p->setConcurrent(false);
+        deferredPorts_.clear();
+        if (workers_ > 1)
+            panic("Simulator: fault-instrumented channels cannot run "
+                  "concurrently; use a single worker");
+        return false;
+    }
+    if (deferredPorts_.empty() && workers_ <= 1)
+        return false; // nothing to defer: the direct step is identical
+    if (workers_ > 1)
+        ensurePool();
+    for (DomainMerged *m : merged_)
+        m->beginParallel(workers_);
+    par::ctx().dirty = &plan_->dirty[workers_];
+    return true;
+}
+
+void
+Simulator::endParallelWindow()
+{
+    for (PendingPort *p : deferredPorts_)
+        p->setConcurrent(false);
+    deferredPorts_.clear();
+    for (DomainMerged *m : merged_)
+        m->endParallel();
+    par::ctx().dirty = nullptr;
+}
+
+void
+Simulator::ensurePool()
+{
+    if (pool_)
+        return;
+    pool_ = std::make_unique<Pool>(workers_);
+    pool_->threads.reserve(workers_ - 1);
+    for (unsigned d = 1; d < workers_; ++d)
+        pool_->threads.emplace_back([this, d] { workerLoop(d); });
+}
+
+void
+Simulator::teardownPool()
+{
+    if (!pool_)
+        return;
+    // Workers blocked on the start barrier observe stop after the main
+    // thread's arrival releases them, and exit without arriving at the
+    // end barrier.
+    pool_->stop.store(true, std::memory_order_relaxed);
+    pool_->barrier.arriveAndWait();
+    for (std::thread &t : pool_->threads)
+        t.join();
+    pool_.reset();
+}
+
+void
+Simulator::workerLoop(unsigned domain)
+{
+    for (;;) {
+        pool_->barrier.arriveAndWait(); // start of a cycle's phase
+        if (pool_->stop.load(std::memory_order_relaxed))
+            return;
+        runDomain(domain);
+        pool_->barrier.arriveAndWait(); // end of the phase
+    }
+}
+
+void
+Simulator::runDomain(unsigned domain)
+{
+    par::DomainContext &cx = par::ctx();
+    cx.domain = static_cast<int>(domain);
+    cx.dirty = &plan_->dirty[domain];
+    Plan::Counters &ctr = plan_->counters[domain];
+    for (const Plan::Item &item : plan_->domains[domain]) {
+        cx.component = item.index;
+        if (item.component->quiescent()) {
+            ++ctr.skipped;
+            continue;
+        }
+        item.component->tick(now_);
+        ++ctr.executed;
+    }
+    cx.domain = par::kDirect;
+    cx.dirty = nullptr;
+}
+
+void
+Simulator::stepParallel()
+{
+    Plan &plan = *plan_;
+    par::DomainContext &cx = par::ctx();
+
+    // Prologue: keyless components before the mesh (the traffic
+    // generator), serially, exactly as in a serial step. Sends land on
+    // the serial dirty list and flush with everything else.
+    cx.dirty = &plan.dirty[workers_];
+    for (std::size_t i = 0; i < plan.prologueEnd; ++i) {
+        const Entry &e = components_[i];
+        if (e.component->quiescent()) {
+            ++ticksSkipped_;
+            continue;
+        }
+        e.component->tick(now_);
+        ++ticksExecuted_;
+    }
+
+    // Partitioned phase: workers run domains 1..W-1, this thread runs
+    // domain 0. The barrier pair brackets all cross-domain reads. With
+    // one worker there is no pool — domain 0 is the whole mesh.
+    if (pool_)
+        pool_->barrier.arriveAndWait();
+    runDomain(0);
+    if (pool_)
+        pool_->barrier.arriveAndWait();
+
+    // Barrier work, single-threaded: publish buffered channel sends
+    // (delivery cycles are stamped at send time, so flush order cannot
+    // reorder deliveries), then replay buffered cross-domain mutations.
+    cx.dirty = &plan.dirty[workers_];
+    for (std::vector<PendingPort *> &list : plan.dirty) {
+        for (PendingPort *p : list)
+            p->flushPending();
+        list.clear();
+    }
+    for (DomainMerged *m : merged_)
+        m->mergeDomains();
+
+    // Epilogue: keyless components after the mesh (GSF frame barrier,
+    // auditor, telemetry) observe the same post-delivery state they
+    // would in a serial cycle.
+    for (std::size_t i = plan.epilogueBegin; i < components_.size();
+         ++i) {
+        const Entry &e = components_[i];
+        if (e.component->quiescent()) {
+            ++ticksSkipped_;
+            continue;
+        }
+        e.component->tick(now_);
+        ++ticksExecuted_;
+    }
+
+    for (Plan::Counters &c : plan.counters) {
+        ticksExecuted_ += c.executed;
+        ticksSkipped_ += c.skipped;
+        c.executed = 0;
+        c.skipped = 0;
     }
     ++now_;
 }
@@ -47,6 +371,12 @@ void
 Simulator::run(Cycle cycles)
 {
     const Cycle end = runEnd(cycles);
+    if (beginParallelWindow()) {
+        while (now_ < end)
+            stepParallel();
+        endParallelWindow();
+        return;
+    }
     while (now_ < end)
         step();
 }
@@ -55,6 +385,18 @@ bool
 Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles)
 {
     const Cycle end = runEnd(max_cycles);
+    if (beginParallelWindow()) {
+        bool fired = false;
+        while (now_ < end) {
+            if (done()) {
+                fired = true;
+                break;
+            }
+            stepParallel();
+        }
+        endParallelWindow();
+        return fired || done();
+    }
     while (now_ < end) {
         if (done())
             return true;
@@ -67,8 +409,8 @@ std::size_t
 Simulator::activeComponents() const
 {
     std::size_t n = 0;
-    for (const Clocked *c : components_)
-        if (!c->quiescent())
+    for (const Entry &e : components_)
+        if (!e.component->quiescent())
             ++n;
     return n;
 }

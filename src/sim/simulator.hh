@@ -1,6 +1,23 @@
 /**
  * @file
- * The top-level cycle-driven run loop.
+ * The top-level cycle-driven run loop, serial or spatially partitioned.
+ *
+ * Components registered with a spatial key (their node id) are sharded
+ * into per-worker domains and advanced in parallel inside one cycle;
+ * keyless components run serially before (prologue) or after (epilogue)
+ * the partitioned phase, in registration order. Cross-domain effects —
+ * channel sends, observer events, shared-counter updates — are buffered
+ * during the phase and flushed/merged deterministically at a per-cycle
+ * barrier.
+ *
+ * Deferred channel visibility is the canonical semantics, not a
+ * parallel-only trick: whenever deferrable ports are registered the
+ * run loop defers sends even with a single worker (no pool, no
+ * barriers — just the same three-phase cycle on one thread). Every
+ * cycle then executes against start-of-cycle channel state for every
+ * worker count, so quiescence decisions cannot depend on the per-cycle
+ * tick order and any worker count is bit-identical to any other by
+ * construction (see docs/PARALLEL.md).
  */
 
 #ifndef NOC_SIM_SIMULATOR_HH
@@ -8,9 +25,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/clocked.hh"
+#include "sim/parallel.hh"
 #include "sim/types.hh"
 
 namespace noc
@@ -27,8 +46,52 @@ namespace noc
 class Simulator
 {
   public:
+    Simulator();
+    ~Simulator();
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
     /** Register a component; it will be ticked every cycle. */
     void add(Clocked *component);
+
+    /**
+     * Register a spatially partitionable component. @p spatial_key is
+     * the component's node id; components sharing a key always land in
+     * the same domain (preserving intra-node same-cycle coupling), and
+     * domains are contiguous key ranges, so the per-domain execution
+     * order equals the serial registration order restricted to the
+     * domain. Keyed components must form one contiguous registration
+     * range — a keyless component between keyed ones panics when a
+     * parallel run starts.
+     */
+    void add(Clocked *component, NodeId spatial_key);
+
+    /**
+     * Register a channel endpoint for deferred buffering. Every channel
+     * of the simulated network must be registered before a parallel
+     * run; a port that declines deferral (fault-instrumented) keeps the
+     * whole run on the legacy direct step when workers() == 1 and is
+     * fatal otherwise.
+     */
+    void addPort(PendingPort *port);
+
+    /**
+     * Register a consumer whose cross-domain mutations are buffered and
+     * merged at the per-cycle barrier (metrics, the GSF frame barrier,
+     * the deferred observer).
+     */
+    void addMerged(DomainMerged *consumer);
+
+    /**
+     * Worker threads for partitioned execution; 1 = single-threaded
+     * (default), 0 = hardware concurrency. The worker count changes
+     * wall-clock behaviour only: results are bit-identical for every
+     * count because even a one-worker run uses the same deferred-
+     * visibility cycle (runs without registered ports keep the legacy
+     * direct step).
+     */
+    void setWorkers(unsigned workers);
+    unsigned workers() const { return workers_; }
 
     /** Current cycle (the cycle about to execute / executing). */
     Cycle now() const { return now_; }
@@ -62,12 +125,46 @@ class Simulator
     /// @}
 
   private:
+    struct Entry
+    {
+        Clocked *component = nullptr;
+        NodeId key = kInvalidNode;
+        bool keyed = false;
+    };
+
+    struct Plan; ///< Domain assignment + per-domain scratch (simulator.cc).
+    struct Pool; ///< Worker threads and their barrier (simulator.cc).
+
     void step();
+    void stepParallel();
+
+    /** Build the domain plan from the current registrations. */
+    void preparePlan();
+
+    /** True (and pool running) if this run executes partitioned. */
+    bool beginParallelWindow();
+    void endParallelWindow();
+
+    /** Tick/skip the keyed components of @p domain (phase body). */
+    void runDomain(unsigned domain);
+
+    /** Spawn the worker pool for the current plan, if not running. */
+    void ensurePool();
+    void teardownPool();
+    void workerLoop(unsigned domain);
 
     /** End of the current run window (exclusive); checked by step(). */
     Cycle runEnd(Cycle cycles) const;
 
-    std::vector<Clocked *> components_;
+    std::vector<Entry> components_;
+    std::vector<PendingPort *> ports_;
+    /** Ports that accepted deferral for the current window. */
+    std::vector<PendingPort *> deferredPorts_;
+    std::vector<DomainMerged *> merged_;
+    std::unique_ptr<Plan> plan_;
+    std::unique_ptr<Pool> pool_;
+    unsigned workers_ = 1;
+    bool planDirty_ = true;
     Cycle now_ = 0;
     std::uint64_t ticksExecuted_ = 0;
     std::uint64_t ticksSkipped_ = 0;

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Intra-run parallelism tests: the partitioned Simulator must be
+ * bit-identical to the serial one for every worker count, network
+ * architecture and observer configuration; cross-domain channel
+ * delivery must land at exactly send + latency regardless of the
+ * partition shape; quiescent domains must wake on cross-domain
+ * arrivals; GSF's time-driven frame barrier must keep its cadence when
+ * its reporters are sharded. Also covers the worker-budget split and
+ * the hardware-thread accounting that explained the flat sweep-level
+ * speedup on single-core hosts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gsf/gsf_network.hh"
+#include "harness/sweep.hh"
+#include "net/channel.hh"
+#include "qos/allocation.hh"
+#include "sim/simulator.hh"
+
+namespace noc
+{
+namespace
+{
+
+RunConfig
+smallConfig(NetKind kind)
+{
+    RunConfig c;
+    c.kind = kind;
+    c.meshWidth = 4;
+    c.meshHeight = 4;
+    c.warmupCycles = 600;
+    c.measureCycles = 1500;
+    c.loft.frameSizeFlits = 64;
+    c.loft.centralBufferFlits = 64;
+    c.loft.specBufferFlits = 8;
+    c.loft.maxFlows = 16;
+    c.loft.sourceQueueFlits = 32;
+    c.applyEnvScale();
+    return c;
+}
+
+TrafficPattern
+smallPattern()
+{
+    Mesh2D mesh(4, 4);
+    TrafficPattern p = uniformPattern(mesh);
+    setEqualSharesByMaxFlows(p.flows, 16);
+    return p;
+}
+
+/// ---------------------------------------------------------------
+/// Bit-identity matrix: {1, 2, 4, 8} intra-run workers x network
+/// kind x {audit, telemetry} on/off, including byte-identical
+/// telemetry exports.
+/// ---------------------------------------------------------------
+
+struct MatrixCase
+{
+    NetKind kind;
+    bool audit;
+    bool telemetry;
+};
+
+std::string
+matrixName(const ::testing::TestParamInfo<MatrixCase> &info)
+{
+    std::string name;
+    switch (info.param.kind) {
+      case NetKind::Loft:
+        name = "Loft";
+        break;
+      case NetKind::Gsf:
+        name = "Gsf";
+        break;
+      case NetKind::Wormhole:
+        name = "Wormhole";
+        break;
+    }
+    name += info.param.audit ? "_AuditOn" : "_AuditOff";
+    name += info.param.telemetry ? "_TelemetryOn" : "_TelemetryOff";
+    return name;
+}
+
+class ParallelBitIdentity : public ::testing::TestWithParam<MatrixCase>
+{
+};
+
+TEST_P(ParallelBitIdentity, AnyWorkerCountMatchesSerial)
+{
+    const MatrixCase p = GetParam();
+    RunConfig base = smallConfig(p.kind);
+    base.audit = p.audit;
+    base.telemetry.enabled = p.telemetry;
+    base.telemetry.epochCycles = 500;
+    const TrafficPattern pattern = smallPattern();
+
+    RunConfig serial_cfg = base;
+    serial_cfg.intraRunWorkers = 1;
+    const RunResult serial = runExperiment(serial_cfg, pattern, 0.15);
+    ASSERT_GT(serial.totalFlits, 0u);
+    const std::string want = sweepFingerprint(serial);
+
+    for (unsigned workers : {2u, 4u, 8u}) {
+        RunConfig cfg = base;
+        cfg.intraRunWorkers = workers;
+        const RunResult got = runExperiment(cfg, pattern, 0.15);
+        EXPECT_EQ(want, sweepFingerprint(got))
+            << "workers=" << workers;
+        EXPECT_EQ(serial.auditHardViolations, got.auditHardViolations)
+            << got.auditReport;
+
+        ASSERT_EQ(serial.telemetry == nullptr, got.telemetry == nullptr);
+        if (serial.telemetry) {
+            EXPECT_EQ(serial.telemetry->timeSeriesCsv(),
+                      got.telemetry->timeSeriesCsv())
+                << "workers=" << workers;
+            EXPECT_EQ(serial.telemetry->chromeTraceJson(),
+                      got.telemetry->chromeTraceJson())
+                << "workers=" << workers;
+            EXPECT_EQ(serial.telemetry->heatmapCsv(),
+                      got.telemetry->heatmapCsv())
+                << "workers=" << workers;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ParallelBitIdentity,
+    ::testing::Values(
+        MatrixCase{NetKind::Loft, true, true},
+        MatrixCase{NetKind::Loft, true, false},
+        MatrixCase{NetKind::Loft, false, true},
+        MatrixCase{NetKind::Loft, false, false},
+        MatrixCase{NetKind::Gsf, true, true},
+        MatrixCase{NetKind::Gsf, true, false},
+        MatrixCase{NetKind::Gsf, false, false},
+        MatrixCase{NetKind::Wormhole, true, true},
+        MatrixCase{NetKind::Wormhole, true, false},
+        MatrixCase{NetKind::Wormhole, false, false}),
+    matrixName);
+
+/// ---------------------------------------------------------------
+/// Domain-barrier properties on bare channels: a value sent at cycle
+/// t with latency L is visible at exactly t+L for every partition
+/// shape, and a quiescent receiver domain wakes on the cross-domain
+/// arrival.
+/// ---------------------------------------------------------------
+
+class PeriodicSender final : public Clocked
+{
+  public:
+    PeriodicSender(Channel<int> *out, Cycle period)
+        : out_(out), period_(period)
+    {
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        if (now % period_ == 0)
+            out_->send(now, static_cast<int>(now));
+    }
+
+  private:
+    Channel<int> *out_;
+    Cycle period_;
+};
+
+class LoggingReceiver final : public Clocked
+{
+  public:
+    explicit LoggingReceiver(Channel<int> *in) : in_(in) {}
+
+    void
+    tick(Cycle now) override
+    {
+        while (auto v = in_->tryReceive(now))
+            log_.emplace_back(now, *v);
+    }
+
+    /** Idle with an empty input: must wake on cross-domain arrivals. */
+    bool quiescent() const override { return in_->empty(); }
+
+    const std::vector<std::pair<Cycle, int>> &log() const { return log_; }
+
+  private:
+    Channel<int> *in_;
+    std::vector<std::pair<Cycle, int>> log_;
+};
+
+/** Two cross-domain sender/receiver pairs (one in each direction). */
+struct ChannelRig
+{
+    explicit ChannelRig(Cycle latency)
+        : forward(latency), backward(latency), sendA(&forward, 7),
+          recvA(&forward), sendB(&backward, 11), recvB(&backward)
+    {
+    }
+
+    void
+    attach(Simulator &sim, unsigned workers)
+    {
+        // Keys 0 and 3 land in different domains for every workers > 1
+        // partition of the key range {0..3}.
+        sim.add(&sendA, 0);
+        sim.add(&recvB, 0);
+        sim.add(&sendB, 3);
+        sim.add(&recvA, 3);
+        sim.addPort(&forward);
+        sim.addPort(&backward);
+        sim.setWorkers(workers);
+    }
+
+    Channel<int> forward;
+    Channel<int> backward;
+    PeriodicSender sendA;
+    LoggingReceiver recvA;
+    PeriodicSender sendB;
+    LoggingReceiver recvB;
+};
+
+class DeliveryTiming
+    : public ::testing::TestWithParam<std::pair<unsigned, Cycle>>
+{
+};
+
+TEST_P(DeliveryTiming, CrossDomainDeliveryAtExactlySendPlusLatency)
+{
+    const unsigned workers = GetParam().first;
+    const Cycle latency = GetParam().second;
+    constexpr Cycle kCycles = 200;
+
+    ChannelRig rig(latency);
+    Simulator sim;
+    rig.attach(sim, workers);
+    sim.run(kCycles);
+
+    for (const LoggingReceiver *recv : {&rig.recvA, &rig.recvB}) {
+        ASSERT_FALSE(recv->log().empty());
+        for (const auto &[cycle, value] : recv->log()) {
+            // Never early, never late: exactly send + latency.
+            EXPECT_EQ(cycle, static_cast<Cycle>(value) + latency);
+        }
+    }
+    // Everything deliverable by the horizon was in fact received.
+    const auto expected = [&](Cycle period) {
+        std::size_t n = 0;
+        for (Cycle t = 0; t + latency < kCycles; t += period)
+            ++n;
+        return n;
+    };
+    EXPECT_EQ(rig.recvA.log().size(), expected(7));
+    EXPECT_EQ(rig.recvB.log().size(), expected(11));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DeliveryTiming,
+    ::testing::Values(std::make_pair(1u, Cycle{1}),
+                      std::make_pair(2u, Cycle{1}),
+                      std::make_pair(4u, Cycle{1}),
+                      std::make_pair(2u, Cycle{2}),
+                      std::make_pair(4u, Cycle{2}),
+                      std::make_pair(4u, Cycle{3})));
+
+TEST(DeliveryTiming, PartitionedLogMatchesSerialLog)
+{
+    ChannelRig serial(2);
+    Simulator ssim;
+    serial.attach(ssim, 1);
+    ssim.run(300);
+
+    ChannelRig parallel(2);
+    Simulator psim;
+    parallel.attach(psim, 4);
+    psim.run(300);
+
+    EXPECT_EQ(serial.recvA.log(), parallel.recvA.log());
+    EXPECT_EQ(serial.recvB.log(), parallel.recvB.log());
+}
+
+/// ---------------------------------------------------------------
+/// GSF's time-driven frame barrier: same recycle cadence whether its
+/// sources/sinks run serially or sharded across domains.
+/// ---------------------------------------------------------------
+
+FlowSpec
+oneHopFlow()
+{
+    FlowSpec f;
+    f.id = 0;
+    f.src = 0;
+    f.dst = 5;
+    f.bwShare = 1.0 / 16;
+    return f;
+}
+
+std::uint64_t
+gsfRecyclesAfter(unsigned workers, Cycle cycles, bool with_traffic)
+{
+    const RunConfig c = smallConfig(NetKind::Gsf);
+    Mesh2D mesh(4, 4);
+    auto net = buildNetwork(c, mesh);
+    net->registerFlows({oneHopFlow()});
+    Simulator sim;
+    net->attach(sim);
+    sim.setWorkers(workers);
+    if (with_traffic) {
+        Packet p;
+        p.id = 1;
+        p.flow = 0;
+        p.src = 0;
+        p.dst = 5;
+        p.sizeFlits = 4;
+        EXPECT_TRUE(net->inject(p));
+    }
+    sim.run(cycles);
+    return dynamic_cast<GsfNetwork &>(*net).barrier().recycleCount();
+}
+
+TEST(GsfBarrierCadence, IdleWindowAdvancesOnScheduleWhenPartitioned)
+{
+    const std::uint64_t serial = gsfRecyclesAfter(1, 400, false);
+    EXPECT_GT(serial, 0u);
+    EXPECT_EQ(serial, gsfRecyclesAfter(2, 400, false));
+    EXPECT_EQ(serial, gsfRecyclesAfter(4, 400, false));
+}
+
+TEST(GsfBarrierCadence, TrafficDelaysTheBarrierIdenticallyWhenPartitioned)
+{
+    const std::uint64_t serial = gsfRecyclesAfter(1, 400, true);
+    EXPECT_EQ(serial, gsfRecyclesAfter(4, 400, true));
+}
+
+/// ---------------------------------------------------------------
+/// A partitioned network drains back to quiescence like a serial one
+/// (cross-domain arrivals wake sleeping domains along the route).
+/// ---------------------------------------------------------------
+
+TEST(ParallelQuiescence, PartitionedRunDeliversAndDrains)
+{
+    const RunConfig c = smallConfig(NetKind::Loft);
+    Mesh2D mesh(4, 4);
+    auto net = buildNetwork(c, mesh);
+    net->registerFlows({oneHopFlow()});
+    Simulator sim;
+    net->attach(sim);
+    sim.setWorkers(4);
+    net->metrics().startMeasurement(0);
+
+    Packet p;
+    p.id = 1;
+    p.flow = 0;
+    p.src = 0;
+    p.dst = 5;
+    p.sizeFlits = 4;
+    ASSERT_TRUE(net->inject(p));
+
+    ASSERT_TRUE(sim.runUntil(
+        [&] {
+            return net->metrics().totalPackets() == 1 &&
+                   net->flitsInFlight() == 0;
+        },
+        20000));
+    EXPECT_TRUE(sim.runUntil(
+        [&] { return sim.activeComponents() == 0; }, 20000));
+    EXPECT_EQ(net->metrics().totalPackets(), 1u);
+}
+
+/// ---------------------------------------------------------------
+/// Sweep-level x intra-run composition, the worker-budget split, and
+/// the hardware-thread accounting of the sweep summary.
+/// ---------------------------------------------------------------
+
+TEST(ParallelSweep, SweepThreadsComposeWithIntraRunWorkers)
+{
+    const TrafficPattern p = smallPattern();
+    const auto factory = [&](const SweepCase &) { return p; };
+
+    SweepConfig serial;
+    serial.base = smallConfig(NetKind::Loft);
+    serial.loads = {0.1};
+    serial.seeds = {1, 2};
+    serial.threads = 1;
+
+    SweepConfig nested = serial;
+    nested.threads = 2;
+    nested.base.intraRunWorkers = 2;
+
+    const SweepResults a = runSweep(serial, factory);
+    const SweepResults b = runSweep(nested, factory);
+    ASSERT_EQ(a.results.size(), 2u);
+    ASSERT_EQ(b.results.size(), 2u);
+    EXPECT_EQ(sweepFingerprint(a), sweepFingerprint(b));
+    EXPECT_EQ(b.summary.threadsUsed, 2u);
+    EXPECT_EQ(b.summary.intraRunWorkers, 2u);
+}
+
+TEST(ParallelSweep, SummaryRecordsHardwareThreads)
+{
+    const TrafficPattern p = smallPattern();
+    SweepConfig sc;
+    sc.base = smallConfig(NetKind::Wormhole);
+    sc.loads = {0.05};
+    sc.threads = 1;
+    const SweepResults r =
+        runSweep(sc, [&](const SweepCase &) { return p; });
+
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    EXPECT_EQ(r.summary.hwThreads, hw);
+    EXPECT_EQ(r.summary.intraRunWorkers, 1u);
+}
+
+TEST(WorkerSplit, WideSweepsKeepTheBudgetOnTheSweepAxis)
+{
+    const WorkerSplit s = planWorkerSplit(8, 24);
+    EXPECT_EQ(s.sweepThreads, 8u);
+    EXPECT_EQ(s.intraRunWorkers, 1u);
+}
+
+TEST(WorkerSplit, NarrowSweepsShiftTheSurplusIntoRuns)
+{
+    WorkerSplit s = planWorkerSplit(8, 2);
+    EXPECT_EQ(s.sweepThreads, 2u);
+    EXPECT_EQ(s.intraRunWorkers, 4u);
+
+    s = planWorkerSplit(4, 1);
+    EXPECT_EQ(s.sweepThreads, 1u);
+    EXPECT_EQ(s.intraRunWorkers, 4u);
+
+    s = planWorkerSplit(8, 3);
+    EXPECT_EQ(s.sweepThreads, 3u);
+    EXPECT_EQ(s.intraRunWorkers, 2u);
+}
+
+TEST(WorkerSplit, DegenerateBudgetsClampSanely)
+{
+    WorkerSplit s = planWorkerSplit(0, 5);
+    EXPECT_EQ(s.sweepThreads, 1u);
+    EXPECT_EQ(s.intraRunWorkers, 1u);
+
+    s = planWorkerSplit(6, 0);
+    EXPECT_EQ(s.sweepThreads, 1u);
+    EXPECT_EQ(s.intraRunWorkers, 6u);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Long-soak determinism for the partitioned simulator: a 16x16 LOFT
+ * mesh driven for a long window (cycle count scalable via
+ * LOFT_SOAK_CYCLES; CI's sanitizer job runs it in the millions) must
+ * produce a fingerprint bit-identical to the serial run, and repeated
+ * partitioned runs must not grow resident memory — the domain buffers
+ * (pending channel slots, deferred observer events, deferred metric
+ * samples) are drained every cycle and reused, never accreted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "harness/sweep.hh"
+#include "qos/allocation.hh"
+
+#ifdef __linux__
+#include <fstream>
+#include <unistd.h>
+#endif
+
+namespace noc
+{
+namespace
+{
+
+/** Measured cycles: LOFT_SOAK_CYCLES env override, else a smoke run. */
+Cycle
+soakCycles()
+{
+    if (const char *env = std::getenv("LOFT_SOAK_CYCLES")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            return static_cast<Cycle>(v);
+    }
+    return 1500;
+}
+
+RunConfig
+soakConfig()
+{
+    RunConfig c;
+    c.kind = NetKind::Loft;
+    c.meshWidth = 16;
+    c.meshHeight = 16;
+    c.warmupCycles = 300;
+    c.measureCycles = soakCycles();
+    c.audit = true;
+    // 256 uniform random-destination flows reserve on every output
+    // port, so the frame must cover maxFlows x quantum bookings
+    // (1024 / 256 flows = 4 flits of quantum headroom per flow), and
+    // Theorem I wants the central buffer at least one frame deep.
+    c.loft.frameSizeFlits = 1024;
+    c.loft.centralBufferFlits = 1024;
+    c.loft.specBufferFlits = 16;
+    c.loft.maxFlows = 256;
+    c.loft.sourceQueueFlits = 64;
+    return c;
+}
+
+TrafficPattern
+soakPattern()
+{
+    Mesh2D mesh(16, 16);
+    TrafficPattern p = uniformPattern(mesh);
+    setEqualSharesByMaxFlows(p.flows, 256);
+    return p;
+}
+
+#ifdef __linux__
+std::size_t
+residentBytes()
+{
+    std::ifstream statm("/proc/self/statm");
+    std::size_t pages = 0;
+    std::size_t resident = 0;
+    statm >> pages >> resident;
+    return resident * static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+}
+#endif
+
+TEST(ParallelSoak, LargeMeshLongRunIsBitIdentical)
+{
+    const RunConfig base = soakConfig();
+    const TrafficPattern pattern = soakPattern();
+    constexpr double kLoad = 0.08;
+
+    RunConfig serial_cfg = base;
+    serial_cfg.intraRunWorkers = 1;
+    const RunResult serial = runExperiment(serial_cfg, pattern, kLoad);
+    ASSERT_GT(serial.totalPackets, 0u);
+    ASSERT_EQ(serial.auditHardViolations, 0u) << serial.auditReport;
+
+    RunConfig par_cfg = base;
+    par_cfg.intraRunWorkers = 4;
+    const RunResult par = runExperiment(par_cfg, pattern, kLoad);
+    EXPECT_EQ(sweepFingerprint(serial), sweepFingerprint(par));
+    EXPECT_EQ(par.auditHardViolations, 0u) << par.auditReport;
+}
+
+TEST(ParallelSoak, RepeatedPartitionedRunsKeepMemoryFlat)
+{
+#ifndef __linux__
+    GTEST_SKIP() << "resident-set accounting requires /proc";
+#else
+    RunConfig cfg = soakConfig();
+    // Memory flatness is about the per-cycle drain of the domain
+    // buffers, not the cycle horizon; a shorter window keeps the
+    // sanitizer-job runtime inside budget (identity above covers the
+    // full horizon).
+    cfg.measureCycles = std::min<Cycle>(cfg.measureCycles, 50000);
+    cfg.intraRunWorkers = 4;
+    const TrafficPattern pattern = soakPattern();
+
+    // First run pays one-time costs (allocator warmup, pool spawn,
+    // buffer high-water marks); later runs must plateau.
+    runExperiment(cfg, pattern, 0.08);
+    const std::size_t baseline = residentBytes();
+    runExperiment(cfg, pattern, 0.08);
+    const std::size_t after = residentBytes();
+
+    constexpr std::size_t kBudget = 64u << 20;
+    EXPECT_LT(after, baseline + kBudget)
+        << "resident set grew " << (after - baseline)
+        << " bytes across one partitioned run";
+#endif
+}
+
+} // namespace
+} // namespace noc
