@@ -17,12 +17,19 @@
  *    partitioned fingerprints are bit-identical to serial for all
  *    three kinds.
  *
+ * 3. Trace section — the serial sweep once more with sampled causal
+ *    tracing attached (docs/TRACING.md), reporting the wall-clock
+ *    overhead of observation, verifying tracing is passive (the traced
+ *    fingerprint is bit-identical to the untraced serial one), and
+ *    recording the consolidated packet/blame counts.
+ *
  * With --json PATH the report is written as BENCH_sweep.json
- * (schema 2) for the CI regression gate (scripts/check_bench.py
+ * (schema 3) for the CI regression gate (scripts/check_bench.py
  * compares it against bench/baselines/BENCH_sweep.json; see
  * docs/BENCH.md). hw_threads records the hardware concurrency of the
  * capture host so the gate can tell real parallel speedups from
- * time-sliced ones.
+ * time-sliced ones. Trace overhead is informational (timing), but
+ * trace passivity is gated as a correctness bit.
  *
  * Usage: bench_sweep [--threads N] [--intra N] [--json PATH]
  */
@@ -219,6 +226,34 @@ main(int argc, char **argv)
     std::printf("speedup: %.2fx   parallel == serial: %s\n", speedup,
                 identical ? "yes" : "NO (BUG)");
 
+    // ---- Trace section -------------------------------------------
+    // Serial sweep once more with sampled causal tracing attached:
+    // the fingerprint must not move (tracing is passive) and the wall
+    // delta is the observation overhead. Compiled-out instrumentation
+    // (-DLOFT_AUDIT=OFF) degenerates to a plain re-run: overhead ~0,
+    // zero packets traced.
+    SweepConfig traced_cfg = benchSweepConfig(1, 1);
+    traced_cfg.base.trace.enabled = true;
+    traced_cfg.base.trace.sampleRate = 0.05;
+    const SweepResults traced = runSweep(traced_cfg, factory);
+    const bool trace_identical =
+        sweepFingerprint(serial) == sweepFingerprint(traced);
+    const double trace_overhead_pct =
+        serial.summary.wallSeconds > 0.0
+            ? 100.0 * (traced.summary.wallSeconds /
+                           serial.summary.wallSeconds -
+                       1.0)
+            : 0.0;
+    const TraceSummary trace_sum = consolidateTraceSummaries(traced);
+    std::printf("trace:   wall=%7.3fs overhead=%+.1f%% packets=%llu "
+                "blame=%llu passive: %s\n",
+                traced.summary.wallSeconds, trace_overhead_pct,
+                static_cast<unsigned long long>(
+                    trace_sum.packetsTraced),
+                static_cast<unsigned long long>(
+                    trace_sum.blameAttributed),
+                trace_identical ? "yes" : "NO (BUG)");
+
     // ---- Intra-run section ---------------------------------------
     Mesh2D intra_mesh(16, 16);
     TrafficPattern intra_pattern = uniformPattern(intra_mesh);
@@ -291,9 +326,18 @@ main(int argc, char **argv)
                      : 0.0)
             .set("speedup", intra_speedup)
             .set("identical", intra_identical);
+        noc::bench::Json trace;
+        trace.set("wall_sec", traced.summary.wallSeconds)
+            .set("overhead_pct", trace_overhead_pct)
+            .set("sample_rate", traced_cfg.base.trace.sampleRate)
+            .set("packets_traced", trace_sum.packetsTraced)
+            .set("blame_attributed", trace_sum.blameAttributed)
+            .set("decomposition_mismatches",
+                 trace_sum.decompositionMismatches)
+            .set("identical", trace_identical);
         noc::bench::Json report;
         report.set("bench", "bench_sweep")
-            .set("schema", std::uint64_t(2))
+            .set("schema", std::uint64_t(3))
             .set("hw_threads", hw_threads)
             .set("config", config)
             .set("serial", noc::bench::summaryJson(serial.summary))
@@ -301,7 +345,8 @@ main(int argc, char **argv)
                  noc::bench::summaryJson(parallel.summary))
             .set("speedup", speedup)
             .set("identical", identical)
-            .set("intra", intra);
+            .set("intra", intra)
+            .set("trace", trace);
         if (!noc::bench::writeJsonFile(json_path, report)) {
             std::fprintf(stderr, "bench_sweep: cannot write %s\n",
                          json_path.c_str());
@@ -310,7 +355,10 @@ main(int argc, char **argv)
         std::printf("wrote %s\n", json_path.c_str());
     }
 
-    // A parallel/serial divergence is a correctness bug, not a perf
-    // number: fail loudly so CI catches it even without the checker.
-    return (identical && intra_identical) ? 0 : 1;
+    // A parallel/serial or traced/untraced divergence is a correctness
+    // bug, not a perf number: fail loudly so CI catches it even
+    // without the checker.
+    const bool trace_ok = trace_identical &&
+                          trace_sum.decompositionMismatches == 0;
+    return (identical && intra_identical && trace_ok) ? 0 : 1;
 }

@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -38,6 +40,90 @@ struct DosPoint
 };
 
 std::map<std::string, std::vector<DosPoint>> g_results;
+std::string g_traceFailure;
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+        std::fwrite(content.data(), 1, content.size(), f);
+        std::fclose(f);
+        std::printf("trace: wrote %s\n", path.c_str());
+    }
+}
+
+/**
+ * With LOFT_TRACE_DIR set: re-run the highest-aggression point twice —
+ * untraced and traced — to (a) verify tracing is passive (bit-identical
+ * fingerprint), (b) measure the sampled-tracing wall-time overhead
+ * (enforced against LOFT_TRACE_OVERHEAD_LIMIT, %, default 10), and
+ * (c) drop the blame dump + Chrome spans for loft-blame / CI schema
+ * checks.
+ */
+void
+runTraceSmoke(const std::string &name, const RunConfig &config,
+              const TrafficPattern &p, const char *tdir)
+{
+    if (!kAuditCompiledIn) {
+        std::printf("trace: hooks compiled out; smoke skipped\n");
+        return;
+    }
+    std::vector<FlowRate> rates(3);
+    rates[0].flitsPerCycle = 0.2;
+    rates[0].process = InjectionProcess::Periodic;
+    rates[1].flitsPerCycle = kAggressorRates.back();
+    rates[2].flitsPerCycle = kAggressorRates.back();
+
+    RunConfig traced = config;
+    traced.trace.enabled = true;
+    traced.trace.sampleRate = 0.05; // production sampling rate
+
+    // Interleaved min-of-five: bare and traced repetitions alternate
+    // so CPU-frequency/scheduler noise phases hit both variants, and
+    // the min discards the slow outliers.
+    auto timedRun = [&](const RunConfig &c, RunResult &out) {
+        const auto t0 = std::chrono::steady_clock::now();
+        out = runExperiment(c, p, rates);
+        const auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+    RunResult bare_r, traced_r;
+    double bare_s = 0.0, traced_s = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+        const double b = timedRun(config, bare_r);
+        const double t = timedRun(traced, traced_r);
+        if (rep == 0 || b < bare_s)
+            bare_s = b;
+        if (rep == 0 || t < traced_s)
+            traced_s = t;
+    }
+
+    if (sweepFingerprint(bare_r) != sweepFingerprint(traced_r))
+        g_traceFailure = name + ": tracing perturbed the run "
+                                "(fingerprint mismatch)";
+    const double overhead =
+        bare_s > 0.0 ? 100.0 * (traced_s / bare_s - 1.0) : 0.0;
+    std::printf("trace: %s overhead %.1f%% (bare %.3fs, traced %.3fs), "
+                "%llu packets traced\n",
+                name.c_str(), overhead, bare_s, traced_s,
+                static_cast<unsigned long long>(
+                    traced_r.traceSummary.packetsTraced));
+    double budget = 10.0;
+    if (const char *env = std::getenv("LOFT_TRACE_OVERHEAD_LIMIT"))
+        budget = std::atof(env);
+    if (overhead > budget)
+        g_traceFailure = name + ": trace overhead over budget";
+    if (traced_r.traceSummary.decompositionMismatches != 0)
+        g_traceFailure = name + ": stage decomposition mismatch";
+
+    const std::string base = std::string(tdir) + "/fig12_" + name;
+    const Cycle end = config.warmupCycles + config.measureCycles;
+    writeFile(base + "_trace.json",
+              traced_r.trace->dumpJson("blame", end));
+    writeFile(base + "_spans.json",
+              chromeTraceJson(traced_r.trace->spanWriter(),
+                              config.meshWidth, config.meshHeight));
+}
 
 void
 runDos(const std::string &name, const RunConfig &config)
@@ -95,6 +181,9 @@ runDos(const std::string &name, const RunConfig &config)
         }
     }
     g_results[name] = std::move(series);
+
+    if (const char *trace_dir = std::getenv("LOFT_TRACE_DIR"))
+        runTraceSmoke(name, config, p, trace_dir);
 }
 
 void
@@ -161,5 +250,9 @@ main(int argc, char **argv)
                 "order of magnitude\nwith aggression; LOFT victim stays "
                 "near its uncontended latency while the\naggressors pay, "
                 "and LOFT's aggregate link utilization is much higher.\n");
+    if (!g_traceFailure.empty()) {
+        std::fprintf(stderr, "ERROR: %s\n", g_traceFailure.c_str());
+        return 1;
+    }
     return 0;
 }

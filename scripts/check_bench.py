@@ -36,6 +36,8 @@ GATED = [
 ]
 
 # Reported for context but not gated (too noisy on shared runners).
+# Trace overhead in particular is a timing ratio: its quiet-machine
+# budget is asserted by the fig12 trace smoke, not here.
 INFORMATIONAL = [
     ("serial", "p50_run_ms"),
     ("serial", "p99_run_ms"),
@@ -43,6 +45,10 @@ INFORMATIONAL = [
     ("parallel", "p99_run_ms"),
     ("intra", "serial_wall_sec"),
     ("intra", "parallel_wall_sec"),
+    ("trace", "wall_sec"),
+    ("trace", "overhead_pct"),
+    ("trace", "packets_traced"),
+    ("trace", "blame_attributed"),
 ]
 
 
@@ -130,6 +136,19 @@ def main():
         failures.append(
             "partitioned intra-run was NOT bit-identical to serial "
             "(correctness bug, not a perf regression)"
+        )
+    # Trace passivity and exact stage decomposition are correctness
+    # bits, not perf numbers (defaults tolerate pre-schema-3 reports).
+    trace = cur.get("trace", {})
+    if not trace.get("identical", True):
+        failures.append(
+            "traced sweep was NOT bit-identical to untraced serial "
+            "(tracing perturbed the run)"
+        )
+    if trace.get("decomposition_mismatches", 0):
+        failures.append(
+            f"trace stage decomposition failed to sum exactly on "
+            f"{trace['decomposition_mismatches']} packet(s)"
         )
 
     for section, key in GATED:

@@ -1,9 +1,11 @@
 #include "audit/network_auditor.hh"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "core/output_scheduler.hh"
 
@@ -17,7 +19,7 @@ namespace
 std::string
 detailf(const char *fmt, ...)
 {
-    char buf[256];
+    char buf[512];
     va_list ap;
     va_start(ap, fmt);
     std::vsnprintf(buf, sizeof(buf), fmt, ap);
@@ -57,8 +59,14 @@ void
 NetworkAuditor::record(AuditKind kind, Cycle now, std::string detail)
 {
     ++counts_[static_cast<std::size_t>(kind)];
-    if (recorded_.size() < cfg_.maxRecorded)
+    if (recorded_.size() < cfg_.maxRecorded) {
+        if (postmortem_) {
+            const std::string dump = postmortem_(kind, now);
+            if (!dump.empty())
+                detail += "; flight recorder: " + dump;
+        }
         recorded_.emplace_back(kind, now, std::move(detail));
+    }
 }
 
 std::uint64_t
@@ -120,10 +128,11 @@ NetworkAuditor::report() const
 // ---------------------------------------------------------------------
 
 void
-NetworkAuditor::noteMovement(FlowId flow, Cycle now)
+NetworkAuditor::noteMovement(NodeId node, FlowId flow, Cycle now)
 {
     lastMovement_ = now;
     flowLastMovement_[flow] = now;
+    nodeLastMovement_[node] = now;
 }
 
 void
@@ -145,7 +154,7 @@ NetworkAuditor::onFlitSourced(NodeId node, const Flit &flit, bool spec,
                        "first seen at node %u)", flit.flow,
                        static_cast<unsigned long long>(flit.flitNo),
                        node, it->second.at));
-    noteMovement(flit.flow, now);
+    noteMovement(node, flit.flow, now);
 }
 
 void
@@ -169,7 +178,7 @@ NetworkAuditor::onFlitArrived(NodeId node, Port, const Flit &flit,
                        node, it->second.at));
     }
     it->second = FlitState{node, false, spec, now};
-    noteMovement(flit.flow, now);
+    noteMovement(node, flit.flow, now);
 
     // FRS consistency: a non-speculative data flit must redeem a prior
     // look-ahead reservation at this node. Speculative flits run ahead
@@ -210,7 +219,7 @@ NetworkAuditor::onFlitForwarded(NodeId node, Port, const Flit &flit,
                        node, it->second.at));
     }
     it->second = FlitState{node, true, spec, now};
-    noteMovement(flit.flow, now);
+    noteMovement(node, flit.flow, now);
 }
 
 void
@@ -234,7 +243,7 @@ NetworkAuditor::onFlitEjected(NodeId node, const Flit &flit, Cycle now)
                        static_cast<unsigned long long>(flit.flitNo),
                        node, flit.dst));
     ++deliveredFlits_[flit.flow];
-    noteMovement(flit.flow, now);
+    noteMovement(node, flit.flow, now);
 }
 
 void
@@ -254,7 +263,7 @@ NetworkAuditor::onFlitDropped(NodeId node, const Flit &flit, Cycle now)
         ledger_.erase(it);
     }
     ++flitsDropped_;
-    noteMovement(flit.flow, now);
+    noteMovement(node, flit.flow, now);
 }
 
 void
@@ -516,11 +525,25 @@ NetworkAuditor::runWatchdog(Cycle now)
     std::ostringstream flows;
     for (FlowId f : stuck)
         flows << " " << f;
+    // Per-node forensics: where flits last moved, oldest first, so a
+    // watchdog report points at the routers that went quiet first.
+    std::vector<std::pair<Cycle, NodeId>> idle;
+    idle.reserve(nodeLastMovement_.size());
+    for (const auto &[node, at] : nodeLastMovement_)
+        idle.emplace_back(at, node);
+    std::sort(idle.begin(), idle.end());
+    std::ostringstream nodes;
+    const std::size_t shown = std::min<std::size_t>(idle.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i)
+        nodes << " node " << idle[i].second << "@" << idle[i].first;
+    if (idle.size() > shown)
+        nodes << " (+" << idle.size() - shown << " more)";
     record(AuditKind::Watchdog, now,
            detailf("no flit movement for %llu cycles with %zu flit(s) "
-                   "in flight; stalled flows:%s",
+                   "in flight; stalled flows:%s; last movement:%s",
                    static_cast<unsigned long long>(now - lastMovement_),
-                   ledger_.size(), flows.str().c_str()));
+                   ledger_.size(), flows.str().c_str(),
+                   nodes.str().c_str()));
     lastMovement_ = now; // re-arm instead of repeating every audit
 }
 

@@ -30,6 +30,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <tuple>
@@ -60,6 +61,9 @@ namespace noc
 //     through the credit ledger.
 // loft-tidy: hook-ignored(onSchedCreditReturn)  — credit returns are
 //     cross-checked against bookings in onSchedBookingCleared.
+// loft-tidy: hook-ignored(onSourceThrottled)    — source back-pressure
+//     is a performance event; liveness is watched through the flit
+//     movement hooks the watchdog already consumes.
 class NetworkAuditor final : public NetObserver, public Clocked
 {
   public:
@@ -83,6 +87,23 @@ class NetworkAuditor final : public NetObserver, public Clocked
     }
     /** Multi-line text summary for logs / failure messages. */
     std::string report() const;
+
+    /**
+     * Install a postmortem callback invoked once per recorded
+     * violation (e.g. the trace subsystem's flight-recorder dump).
+     * A non-empty return value — typically the dump path — is
+     * appended to the violation's detail string.
+     */
+    void setPostmortem(std::function<std::string(AuditKind, Cycle)> fn)
+    {
+        postmortem_ = std::move(fn);
+    }
+
+    /** Last cycle any flit moved at each node (watchdog forensics). */
+    const std::map<NodeId, Cycle> &nodeLastMovement() const
+    {
+        return nodeLastMovement_;
+    }
 
     /**
      * End-of-run check: with the network drained, the ledger must be
@@ -212,7 +233,7 @@ class NetworkAuditor final : public NetObserver, public Clocked
     void auditScheduler(SchedShadow &sh, Cycle now);
     void matureSuspicions(Cycle now);
     void runWatchdog(Cycle now);
-    void noteMovement(FlowId flow, Cycle now);
+    void noteMovement(NodeId node, FlowId flow, Cycle now);
 
     Network *net_;
     AuditConfig cfg_;
@@ -240,6 +261,8 @@ class NetworkAuditor final : public NetObserver, public Clocked
     Cycle nextDeepAudit_ = 0;
     Cycle lastMovement_ = 0;
     std::map<FlowId, Cycle> flowLastMovement_;
+    std::map<NodeId, Cycle> nodeLastMovement_;
+    std::function<std::string(AuditKind, Cycle)> postmortem_;
 };
 
 } // namespace noc

@@ -169,6 +169,9 @@ LoftSourceUnit::emitLookahead(Cycle now)
     }
     if (!free) {
         ++stallNoLaCredit_;
+        NOC_OBSERVE(observer_,
+                    onSourceThrottled(node_, pending_->la.flow,
+                                      StallReason::NoLaCredit, now));
         return;
     }
 
@@ -177,6 +180,9 @@ LoftSourceUnit::emitLookahead(Cycle now)
     if (!sched_.trySchedule(pending_->la.flow, now,
                             pending_->la.quantumNo, earliest, granted)) {
         ++throttles_;
+        NOC_OBSERVE(observer_,
+                    onSourceThrottled(node_, pending_->la.flow,
+                                      StallReason::SchedThrottle, now));
         return;
     }
     const std::size_t vc = laVcPick_.arbitrate(free);
@@ -227,6 +233,12 @@ LoftSourceUnit::forwardData(Cycle now)
             ++stallSpecCredit_;
         else
             ++stallNonspecCredit_;
+        NOC_OBSERVE(observer_,
+                    onSourceThrottled(node_, cand->flow,
+                                      to_spec
+                                          ? StallReason::NoSpecCredit
+                                          : StallReason::NoNonspecCredit,
+                                      now));
         return;
     }
     const Flit flit = cand->flits[cand->sent];

@@ -45,8 +45,13 @@ GsfSourceUnit::allowStart(const Packet &pkt, Cycle now,
         st.quota = st.reservation;
     }
     while (st.quota < pkt.sizeFlits) {
-        if (st.injFrame >= newest)
-            return false; // reservations in all active frames used up
+        if (st.injFrame >= newest) {
+            // Reservations in all active frames used up.
+            NOC_OBSERVE(observer_,
+                        onSourceThrottled(node(), pkt.flow,
+                                          StallReason::FrameQuota, now));
+            return false;
+        }
         ++st.injFrame;
         st.quota = st.reservation;
     }

@@ -150,6 +150,23 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
     if (injector)
         monitor = std::make_unique<FaultMonitor>();
 
+    std::shared_ptr<TraceCollector> trace;
+    if (cfg.trace.enabled && kAuditCompiledIn) {
+        TraceConfig tc = cfg.trace;
+        if (tc.seed == 0)
+            tc.seed = cfg.seed;
+        const char *kind_name = cfg.kind == NetKind::Loft ? "loft"
+                                : cfg.kind == NetKind::Gsf ? "gsf"
+                                                           : "wormhole";
+        // Only LOFT books absolute slots; 0 routes all hop residency
+        // to switch_stall on the other fabrics.
+        const std::uint32_t cycles_per_slot =
+            cfg.kind == NetKind::Loft ? cfg.loft.quantumFlits : 0;
+        trace = std::make_shared<TraceCollector>(mesh, std::move(tc),
+                                                 kind_name,
+                                                 cycles_per_slot);
+    }
+
     std::shared_ptr<TelemetryCollector> telemetry;
     if (cfg.telemetry.enabled && kAuditCompiledIn) {
         std::vector<std::uint32_t> class_of;
@@ -185,6 +202,10 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
             sinks.push_back(telemetry.get());
         if (monitor)
             sinks.push_back(monitor.get());
+        // Last, so a postmortem dump triggered from the auditor
+        // reflects trace state up to (not including) the fatal event.
+        if (trace)
+            sinks.push_back(trace.get());
         NetObserver *sink = nullptr;
         if (sinks.size() == 1) {
             sink = sinks.front();
@@ -201,6 +222,13 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
         }
         if (injector)
             injector->setObserver(sink);
+    }
+    if (auditor && trace) {
+        TraceCollector *tr = trace.get();
+        auditor->setPostmortem([tr](AuditKind kind, Cycle now) {
+            return tr->dumpToFile(
+                std::string("audit_") + auditKindName(kind), now);
+        });
     }
 
     net->registerFlows(pattern.flows);
@@ -229,6 +257,8 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
         telemetry->stopMeasurement(sim.now());
         telemetry->finish(sim.now());
     }
+    if (trace)
+        trace->finish(sim.now());
 
     const MetricsCollector &m = net->metrics();
     RunResult r;
@@ -278,6 +308,10 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
             monitor->recoveryLatency().percentile(0.99);
     }
     r.telemetry = telemetry;
+    if (trace) {
+        r.trace = trace;
+        r.traceSummary = trace->summary();
+    }
     return r;
 }
 

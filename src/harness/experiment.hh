@@ -18,6 +18,7 @@
 #include "gsf/gsf_network.hh"
 #include "router/wormhole_network.hh"
 #include "telemetry/telemetry.hh"
+#include "trace/trace.hh"
 #include "traffic/generator.hh"
 #include "traffic/pattern.hh"
 
@@ -74,6 +75,18 @@ struct RunConfig
      * taken from the traffic pattern's group labels.
      */
     TelemetryConfig telemetry;
+
+    /**
+     * Attach a TraceCollector (src/trace) for the run: causal latency
+     * decomposition, blame attribution, and the black-box flight
+     * recorder. Off by default; set trace.enabled = true to arm it.
+     * Passive — the sweep fingerprint and all metrics are bit-identical
+     * with tracing on or off, for any worker count. When an auditor is
+     * also attached its violations trigger automatic flight-recorder
+     * dumps (trace.dumpDir). trace.seed == 0 inherits the run seed. A
+     * no-op in builds with -DLOFT_AUDIT=OFF.
+     */
+    TraceConfig trace;
 
     /**
      * Deterministic fault-injection schedule (src/faults). Inert by
@@ -168,6 +181,17 @@ struct RunResult
      * returns.
      */
     std::shared_ptr<TelemetryCollector> telemetry;
+
+    /**
+     * The run's trace collector (null unless RunConfig::trace.enabled
+     * and the hooks are compiled in). finish() has been called; dumps
+     * and span export are ready. NOT serialized into
+     * sweepFingerprint — tracing stays invisible to determinism
+     * identities.
+     */
+    std::shared_ptr<TraceCollector> trace;
+    /** Rollup of the trace collector (enabled == false when absent). */
+    TraceSummary traceSummary;
 };
 
 /**

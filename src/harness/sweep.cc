@@ -211,6 +211,17 @@ runSweep(const SweepConfig &config, const PatternFactory &make_pattern)
     });
 }
 
+TraceSummary
+consolidateTraceSummaries(const SweepResults &results)
+{
+    std::vector<TraceSummary> parts;
+    for (const RunResult &r : results.results) {
+        if (r.traceSummary.enabled)
+            parts.push_back(r.traceSummary);
+    }
+    return mergeTraceSummaries(parts);
+}
+
 std::string
 sweepFingerprint(const RunResult &r)
 {

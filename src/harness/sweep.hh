@@ -96,6 +96,14 @@ struct SweepResults
     SweepSummary summary;
 };
 
+/**
+ * Consolidate the trace rollups of every traced case of a sweep
+ * (submission order, so the result is independent of execution
+ * interleaving): stage totals sum, interference matrices merge.
+ * enabled == false when no case was traced.
+ */
+TraceSummary consolidateTraceSummaries(const SweepResults &results);
+
 /** Expand the cartesian product into submission-ordered cases. */
 std::vector<SweepCase> expandSweep(const SweepConfig &config);
 

@@ -154,6 +154,10 @@ DeferredObserver::deliver(const DeferredNetEvent &e)
       case Kind::FlitDropped:
         downstream_->onFlitDropped(e.node, e.flit, e.now);
         return;
+      case Kind::SourceThrottled:
+        downstream_->onSourceThrottled(
+            e.node, e.flow, static_cast<StallReason>(e.a), e.now);
+        return;
     }
     panic("DeferredObserver: unknown event kind");
 }
@@ -419,6 +423,19 @@ DeferredObserver::onFlitDropped(NodeId node, const Flit &flit, Cycle now)
     e.kind = DeferredNetEvent::Kind::FlitDropped;
     e.node = node;
     e.flit = flit;
+    e.now = now;
+    push(std::move(e));
+}
+
+void
+DeferredObserver::onSourceThrottled(NodeId node, FlowId flow,
+                                    StallReason reason, Cycle now)
+{
+    DeferredNetEvent e;
+    e.kind = DeferredNetEvent::Kind::SourceThrottled;
+    e.node = node;
+    e.flow = flow;
+    e.a = static_cast<std::uint64_t>(reason);
     e.now = now;
     push(std::move(e));
 }

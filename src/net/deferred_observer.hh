@@ -62,6 +62,7 @@ struct DeferredNetEvent
         FaultDetected,
         FaultRecovered,
         FlitDropped,
+        SourceThrottled,
     };
 
     Kind kind = Kind::PacketAccepted;
@@ -136,6 +137,8 @@ class DeferredObserver final : public NetObserver, public DomainMerged
     void onFaultRecovered(FaultKind kind, NodeId node, Cycle injectedAt,
                           Cycle now) override;
     void onFlitDropped(NodeId node, const Flit &flit, Cycle now) override;
+    void onSourceThrottled(NodeId node, FlowId flow, StallReason reason,
+                           Cycle now) override;
 
   private:
     /** Buffer @p e in the calling domain, or deliver when direct. */

@@ -92,6 +92,49 @@ faultKindName(FaultKind kind)
     return "unknown";
 }
 
+/**
+ * Why a source NI could not make forward progress this cycle. The
+ * vocabulary of the onSourceThrottled hook; tracing uses it to label
+ * source-side stall cycles, and it is deliberately comparable across
+ * the three NetKinds (wormhole sources emit NoVc/NoCredit, GSF adds
+ * FrameQuota, LOFT adds the look-ahead/scheduler/credit reasons).
+ */
+enum class StallReason : std::uint8_t
+{
+    NoVc,            ///< no virtual channel available for a new packet
+    NoCredit,        ///< downstream buffer credits exhausted
+    FrameQuota,      ///< GSF per-frame injection quota exhausted
+    NoLaCredit,      ///< LOFT look-ahead network credit exhausted
+    SchedThrottle,   ///< LOFT NI scheduler denied a slot this cycle
+    NoSpecCredit,    ///< LOFT speculative data buffer credit exhausted
+    NoNonspecCredit, ///< LOFT non-speculative data buffer credit gone
+};
+
+constexpr std::size_t kNumStallReasons = 7;
+
+/** Human-readable stall-reason name ("no_vc", ...). */
+inline const char *
+stallReasonName(StallReason reason)
+{
+    switch (reason) {
+      case StallReason::NoVc:
+        return "no_vc";
+      case StallReason::NoCredit:
+        return "no_credit";
+      case StallReason::FrameQuota:
+        return "frame_quota";
+      case StallReason::NoLaCredit:
+        return "no_la_credit";
+      case StallReason::SchedThrottle:
+        return "sched_throttle";
+      case StallReason::NoSpecCredit:
+        return "no_spec_credit";
+      case StallReason::NoNonspecCredit:
+        return "no_nonspec_credit";
+    }
+    return "unknown";
+}
+
 // loft-tidy: observer-base
 class NetObserver
 {
@@ -321,6 +364,22 @@ class NetObserver
     {
         (void)node;
         (void)flit;
+        (void)now;
+    }
+
+    /// @}
+    /// @name Source back-pressure (all networks)
+    /// @{
+
+    /** The source NI of @p node had pending work for @p flow this
+     *  cycle but could not advance it for @p reason. Fires at most
+     *  once per (source, reason) per cycle. */
+    virtual void onSourceThrottled(NodeId node, FlowId flow,
+                                   StallReason reason, Cycle now)
+    {
+        (void)node;
+        (void)flow;
+        (void)reason;
         (void)now;
     }
 

@@ -217,6 +217,14 @@ class ObserverMux : public NetObserver
             t->onFlitDropped(node, flit, now);
     }
 
+    void
+    onSourceThrottled(NodeId node, FlowId flow, StallReason reason,
+                      Cycle now) override
+    {
+        for (auto *t : targets_)
+            t->onSourceThrottled(node, flow, reason, now);
+    }
+
   private:
     std::vector<NetObserver *> targets_;
 };

@@ -77,6 +77,11 @@ SourceUnit::tick(Cycle now)
                 break;
             }
         }
+        if (chosen == params_.numVCs) {
+            NOC_OBSERVE(observer_,
+                        onSourceThrottled(node_, queue_.front().flow,
+                                          StallReason::NoVc, now));
+        }
         std::uint64_t frame_tag = 0;
         if (chosen < params_.numVCs &&
             allowStart(queue_.front(), now, frame_tag)) {
@@ -118,6 +123,10 @@ SourceUnit::tick(Cycle now)
 
         if (tail)
             sending_ = false;
+    } else if (sending_) {
+        NOC_OBSERVE(observer_,
+                    onSourceThrottled(node_, current_.flow,
+                                      StallReason::NoCredit, now));
     }
 }
 

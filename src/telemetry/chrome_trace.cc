@@ -1,0 +1,41 @@
+#include "telemetry/chrome_trace.hh"
+
+#include <cinttypes>
+
+#include "sim/logging.hh"
+
+namespace noc
+{
+
+std::string
+chromeTraceJson(const std::vector<const ChromeTraceWriter *> &writers,
+                std::uint32_t mesh_width, std::uint32_t mesh_height)
+{
+    std::string out = "{\"traceEvents\":[";
+    std::uint64_t dropped = 0;
+    std::size_t emitted = 0;
+    for (const ChromeTraceWriter *w : writers) {
+        if (!w)
+            continue;
+        dropped += w->dropped();
+        for (const std::string &e : w->events()) {
+            if (emitted++)
+                out += ",\n";
+            out += e;
+        }
+    }
+    out += csprintf("],\"displayTimeUnit\":\"ms\","
+                    "\"otherData\":{\"dropped_events\":%" PRIu64
+                    ",\"mesh\":\"%ux%u\"}}\n",
+                    dropped, mesh_width, mesh_height);
+    return out;
+}
+
+std::string
+chromeTraceJson(const ChromeTraceWriter &writer, std::uint32_t mesh_width,
+                std::uint32_t mesh_height)
+{
+    return chromeTraceJson({&writer}, mesh_width, mesh_height);
+}
+
+} // namespace noc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared Chrome trace-event JSON writer.
+ *
+ * Both the telemetry collector (packet lifecycle spans) and the trace
+ * subsystem (stage/blame spans, src/trace) emit trace-event objects
+ * that must land in ONE file loadable by Perfetto / about:tracing.
+ * Before this helper each emitter concatenated its own buffer into its
+ * own top-level JSON document; this class owns the buffering (with the
+ * bounded-capacity drop accounting) and `chromeTraceJson()` merges any
+ * number of writers into a single document.
+ *
+ * Each buffered event is one complete JSON object (no trailing comma);
+ * the writer never parses them, it only joins and wraps.
+ */
+
+#ifndef NOC_TELEMETRY_CHROME_TRACE_HH
+#define NOC_TELEMETRY_CHROME_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace noc
+{
+
+class ChromeTraceWriter
+{
+  public:
+    /** @param max_events hard cap on buffered events (0 = unbounded);
+     *  overflowing events are counted in dropped(), not stored. */
+    explicit ChromeTraceWriter(std::size_t max_events = 0)
+        : maxEvents_(max_events)
+    {
+    }
+
+    /** Pre-size the buffer (metadata emitters call this once). */
+    void reserve(std::size_t n) { events_.reserve(n); }
+
+    /** Append one complete JSON event object, subject to the cap. */
+    void add(std::string json)
+    {
+        if (maxEvents_ && events_.size() >= maxEvents_) {
+            ++dropped_;
+            return;
+        }
+        events_.push_back(std::move(json));
+    }
+
+    /** Append a metadata event ("M" phase), exempt from the cap so a
+     *  tiny cap cannot strip the track names the viewer needs. */
+    void metadata(std::string json)
+    {
+        events_.push_back(std::move(json));
+    }
+
+    std::size_t size() const { return events_.size(); }
+    std::uint64_t dropped() const { return dropped_; }
+    const std::vector<std::string> &events() const { return events_; }
+
+  private:
+    std::vector<std::string> events_;
+    std::uint64_t dropped_ = 0;
+    std::size_t maxEvents_;
+};
+
+/**
+ * Wrap the events of all @p writers (concatenated in argument order)
+ * into one trace-event document:
+ * `{"traceEvents":[...],"displayTimeUnit":"ms","otherData":
+ * {"dropped_events":N,"mesh":"WxH"}}` with N summed over the writers.
+ */
+std::string chromeTraceJson(
+    const std::vector<const ChromeTraceWriter *> &writers,
+    std::uint32_t mesh_width, std::uint32_t mesh_height);
+
+/** Single-writer convenience overload. */
+std::string chromeTraceJson(const ChromeTraceWriter &writer,
+                            std::uint32_t mesh_width,
+                            std::uint32_t mesh_height);
+
+} // namespace noc
+
+#endif // NOC_TELEMETRY_CHROME_TRACE_HH

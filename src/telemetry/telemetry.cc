@@ -40,7 +40,8 @@ TelemetryCollector::TelemetryCollector(const Mesh2D &mesh,
       lastFaultsDetected_(numNodes_, 0),
       lastFaultsRecovered_(numNodes_, 0),
       classOf_(std::move(class_of)),
-      classNames_(std::move(class_names))
+      classNames_(std::move(class_names)),
+      trace_(config.maxTraceEvents)
 {
     if (cfg_.epochCycles == 0)
         panic("TelemetryCollector: epochCycles must be positive");
@@ -59,10 +60,10 @@ TelemetryCollector::TelemetryCollector(const Mesh2D &mesh,
     if (cfg_.tracePackets || cfg_.traceFlits) {
         trace_.reserve(std::min<std::size_t>(cfg_.maxTraceEvents,
                                              1 << 14));
-        trace_.push_back("{\"name\":\"process_name\",\"ph\":\"M\","
-                         "\"pid\":1,\"args\":{\"name\":\"loft-noc\"}}");
+        trace_.metadata("{\"name\":\"process_name\",\"ph\":\"M\","
+                        "\"pid\":1,\"args\":{\"name\":\"loft-noc\"}}");
         for (std::size_t n = 0; n < numNodes_; ++n)
-            trace_.push_back(csprintf(
+            trace_.metadata(csprintf(
                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
                 "\"tid\":%zu,\"args\":{\"name\":\"node %zu\"}}",
                 n, n));
@@ -175,11 +176,7 @@ TelemetryCollector::schedLane(const OutputScheduler &sched)
 void
 TelemetryCollector::traceEvent(std::string json)
 {
-    if (trace_.size() >= cfg_.maxTraceEvents) {
-        ++traceDropped_;
-        return;
-    }
-    trace_.push_back(std::move(json));
+    trace_.add(std::move(json));
 }
 
 // ---------------------------------------------------------------------
@@ -512,17 +509,7 @@ TelemetryCollector::timeSeriesCsv() const
 std::string
 TelemetryCollector::chromeTraceJson() const
 {
-    std::string out = "{\"traceEvents\":[";
-    for (std::size_t i = 0; i < trace_.size(); ++i) {
-        if (i)
-            out += ",\n";
-        out += trace_[i];
-    }
-    out += csprintf("],\"displayTimeUnit\":\"ms\","
-                    "\"otherData\":{\"dropped_events\":%" PRIu64
-                    ",\"mesh\":\"%ux%u\"}}\n",
-                    traceDropped_, width_, height_);
-    return out;
+    return noc::chromeTraceJson(trace_, width_, height_);
 }
 
 std::string

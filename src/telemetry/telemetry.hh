@@ -38,6 +38,7 @@
 #include "net/metrics.hh"
 #include "net/network.hh"
 #include "sim/clocked.hh"
+#include "telemetry/chrome_trace.hh"
 #include "sim/report.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -120,6 +121,9 @@ struct TelemetryEpoch
 //     the auditor's job; telemetry reports the scheduler's own counter.
 // loft-tidy: hook-ignored(onFlitDropped)        — drops surface through
 //     the fault counters (onFaultInjected/Detected/Recovered).
+// loft-tidy: hook-ignored(onSourceThrottled)    — stall attribution is
+//     the trace subsystem's job (src/trace); the time series already
+//     reflects back-pressure through the utilization counters.
 class TelemetryCollector final : public NetObserver, public Clocked
 {
   public:
@@ -181,8 +185,10 @@ class TelemetryCollector final : public NetObserver, public Clocked
         return classNames_.at(cls);
     }
 
-    std::uint64_t traceEventsDropped() const { return traceDropped_; }
+    std::uint64_t traceEventsDropped() const { return trace_.dropped(); }
     std::uint64_t traceEventsRecorded() const { return trace_.size(); }
+    /** The raw span buffer, for merged exports (chromeTraceJson()). */
+    const ChromeTraceWriter &traceWriter() const { return trace_; }
     /// @}
 
     /// @name Exports (see docs/TELEMETRY.md for the schemas)
@@ -317,8 +323,7 @@ class TelemetryCollector final : public NetObserver, public Clocked
     /// Packet lifecycle tracking (latency source + trace spans).
     std::unordered_map<PacketId, LivePacket> live_;
 
-    std::vector<std::string> trace_; ///< complete JSON event objects
-    std::uint64_t traceDropped_ = 0;
+    ChromeTraceWriter trace_; ///< complete JSON event objects
 };
 
 } // namespace noc

@@ -1,0 +1,554 @@
+#include "blame_report.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace blame
+{
+
+namespace
+{
+
+std::string
+strf(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::string
+strf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+/** The dump's stage vocabulary, in report order. spec_savings is the
+ *  one subtractive stage (cycles saved by speculative forwarding). */
+const char *const kStages[] = {
+    "src_queue",      "src_reservation", "link",
+    "lookahead_wait", "reservation_wait", "switch_stall",
+    "sink_reassembly", "spec_savings",
+};
+constexpr std::size_t kNumStages = 8;
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool fail(const std::string &what)
+    {
+        if (error.empty())
+            error = strf("%s at offset %zu", what.c_str(), pos);
+        return false;
+    }
+
+    bool parseValue(Json &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.type = Json::Type::String;
+            return parseString(out.str);
+        }
+        if (c == 't' || c == 'f')
+            return parseKeyword(out);
+        if (c == 'n')
+            return parseKeyword(out);
+        return parseNumber(out);
+    }
+
+    bool parseKeyword(Json &out)
+    {
+        auto match = [&](const char *kw) {
+            const std::size_t n = std::char_traits<char>::length(kw);
+            if (text.compare(pos, n, kw) != 0)
+                return false;
+            pos += n;
+            return true;
+        };
+        if (match("true")) {
+            out.type = Json::Type::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (match("false")) {
+            out.type = Json::Type::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (match("null")) {
+            out.type = Json::Type::Null;
+            return true;
+        }
+        return fail("bad keyword");
+    }
+
+    bool parseNumber(Json &out)
+    {
+        const char *start = text.c_str() + pos;
+        char *end = nullptr;
+        out.number = std::strtod(start, &end);
+        if (end == start)
+            return fail("bad number");
+        pos += static_cast<std::size_t>(end - start);
+        out.type = Json::Type::Number;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        ++pos; // opening quote
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    break;
+                const char e = text[pos++];
+                switch (e) {
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u':
+                    // The dump never emits \u escapes; keep verbatim.
+                    out += "\\u";
+                    break;
+                  default:
+                    out += e;
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseArray(Json &out)
+    {
+        out.type = Json::Type::Array;
+        ++pos; // '['
+        skipWs();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            Json item;
+            if (!parseValue(item))
+                return false;
+            out.items.push_back(std::move(item));
+            skipWs();
+            if (pos >= text.size())
+                return fail("unterminated array");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool parseObject(Json &out)
+    {
+        out.type = Json::Type::Object;
+        ++pos; // '{'
+        skipWs();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos >= text.size() || text[pos] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos >= text.size() || text[pos] != ':')
+                return fail("expected ':'");
+            ++pos;
+            Json value;
+            if (!parseValue(value))
+                return false;
+            out.fields.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (pos >= text.size())
+                return fail("unterminated object");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+};
+
+std::uint64_t
+stageOf(const Json &stages, const char *name)
+{
+    return stages.u64(name, 0);
+}
+
+/** The additive total of a stages object (everything but savings). */
+std::uint64_t
+additiveTotal(const Json &stages)
+{
+    std::uint64_t total = 0;
+    for (const char *name : kStages) {
+        if (std::string(name) != "spec_savings")
+            total += stageOf(stages, name);
+    }
+    return total;
+}
+
+const char *
+dominantStage(const Json &stages)
+{
+    const char *best = "-";
+    std::uint64_t best_cycles = 0;
+    for (const char *name : kStages) {
+        if (std::string(name) == "spec_savings")
+            continue;
+        const std::uint64_t c = stageOf(stages, name);
+        if (c > best_cycles) {
+            best_cycles = c;
+            best = name;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+const Json *
+Json::find(const std::string &key) const
+{
+    for (const auto &[k, v] : fields) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+Json::num(const std::string &key, double dflt) const
+{
+    const Json *v = find(key);
+    return v && v->type == Type::Number ? v->number : dflt;
+}
+
+std::uint64_t
+Json::u64(const std::string &key, std::uint64_t dflt) const
+{
+    const Json *v = find(key);
+    return v && v->type == Type::Number
+               ? static_cast<std::uint64_t>(v->number)
+               : dflt;
+}
+
+std::string
+Json::text(const std::string &key, const std::string &dflt) const
+{
+    const Json *v = find(key);
+    return v && v->type == Type::String ? v->str : dflt;
+}
+
+bool
+Json::flag(const std::string &key, bool dflt) const
+{
+    const Json *v = find(key);
+    return v && v->type == Type::Bool ? v->boolean : dflt;
+}
+
+bool
+parseJson(const std::string &text, Json &out, std::string &error)
+{
+    Parser p(text);
+    if (!p.parseValue(out)) {
+        error = p.error;
+        return false;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        error = strf("trailing garbage at offset %zu", p.pos);
+        return false;
+    }
+    return true;
+}
+
+std::string
+renderSummary(const Json &doc)
+{
+    const Json *pk = doc.find("packets");
+    const Json *bl = doc.find("blame");
+    std::string out = strf(
+        "loft-blame: kind=%s mesh=%s reason=%s cycle=%" PRIu64 "\n",
+        doc.text("kind", "?").c_str(), doc.text("mesh", "?").c_str(),
+        doc.text("reason", "?").c_str(), doc.u64("cycle"));
+    if (pk) {
+        out += strf("packets: traced=%" PRIu64 " sampled=%" PRIu64
+                    " mismatches=%" PRIu64 " total-latency=%" PRIu64
+                    " cycles\n",
+                    pk->u64("traced"), pk->u64("sampled"),
+                    pk->u64("mismatches"),
+                    pk->u64("total_latency_cycles"));
+    }
+    if (bl) {
+        out += strf("blame: attributed=%" PRIu64 " unattributed=%" PRIu64
+                    " cycles\n",
+                    bl->u64("attributed"), bl->u64("unattributed"));
+    }
+    return out;
+}
+
+std::string
+renderStages(const Json &doc)
+{
+    const Json *stages = doc.find("stages");
+    if (!stages)
+        return "no stage data\n";
+    const Json *pk = doc.find("packets");
+    const std::uint64_t total =
+        pk ? pk->u64("total_latency_cycles") : 0;
+    std::string out = "stage breakdown (per-packet stages sum exactly "
+                      "to measured latency):\n";
+    out += strf("  %-16s %12s %7s\n", "stage", "cycles", "share");
+    for (const char *name : kStages) {
+        const bool savings = std::string(name) == "spec_savings";
+        const std::uint64_t c = stageOf(*stages, name);
+        const double share =
+            total ? 100.0 * static_cast<double>(c) /
+                        static_cast<double>(total)
+                  : 0.0;
+        out += strf("  %-16s %s%11" PRIu64 " %6.1f%%%s\n", name,
+                    savings ? "-" : " ", c, savings ? -share : share,
+                    savings ? "  (speculation, subtracted)" : "");
+    }
+    if (total)
+        out += strf("  %-16s  %11" PRIu64 " %6.1f%%\n", "total", total,
+                    100.0);
+    return out;
+}
+
+std::string
+renderMatrix(const Json &doc)
+{
+    const Json *bl = doc.find("blame");
+    const Json *pairs = bl ? bl->find("pairs") : nullptr;
+    if (!pairs || pairs->items.empty())
+        return "interference: none attributed\n";
+    std::string out =
+        "interference matrix (stall cycles the victim waited while the "
+        "aggressor held the port):\n";
+    out += strf("  %8s %10s %12s\n", "victim", "aggressor", "cycles");
+    for (const Json &p : pairs->items) {
+        out += strf("  %8" PRIu64 " %10" PRIu64 " %12" PRIu64 "\n",
+                    p.u64("victim"), p.u64("aggressor"),
+                    p.u64("cycles"));
+    }
+    return out;
+}
+
+std::string
+renderFlows(const Json &doc)
+{
+    const Json *flows = doc.find("flows");
+    if (!flows || flows->items.empty())
+        return "no per-flow data\n";
+    std::string out = "flows:\n";
+    out += strf("  %6s %9s %10s %9s %9s  %s\n", "flow", "packets",
+                "avg-lat", "max-lat", "throttle", "dominant stage");
+    for (const Json &f : flows->items) {
+        const std::uint64_t packets = f.u64("packets");
+        const double avg =
+            packets ? static_cast<double>(f.u64("latency_cycles")) /
+                          static_cast<double>(packets)
+                    : 0.0;
+        std::uint64_t throttled = 0;
+        if (const Json *t = f.find("throttled")) {
+            for (const auto &[k, v] : t->fields) {
+                (void)k;
+                if (v.type == Json::Type::Number)
+                    throttled += static_cast<std::uint64_t>(v.number);
+            }
+        }
+        const Json *stages = f.find("stages");
+        out += strf("  %6" PRIu64 " %9" PRIu64 " %10.1f %9" PRIu64
+                    " %9" PRIu64 "  %s\n",
+                    f.u64("flow"), packets, avg, f.u64("max_latency"),
+                    throttled,
+                    stages ? dominantStage(*stages) : "-");
+    }
+    return out;
+}
+
+std::string
+renderExemplars(const Json &doc)
+{
+    const Json *ex = doc.find("exemplars");
+    if (!ex || ex->items.empty())
+        return "no exemplar traces\n";
+    std::string out = "exemplar traces (use --packet <id> for the "
+                      "critical path):\n";
+    out += strf("  %12s %6s %11s %9s %6s %s\n", "packet", "flow",
+                "route", "latency", "hops", "tags");
+    for (const Json &e : ex->items) {
+        std::string tags;
+        if (e.flag("tail"))
+            tags += " tail";
+        if (e.flag("sampled"))
+            tags += " sampled";
+        const Json *hops = e.find("hops");
+        out += strf("  %12" PRIu64 " %6" PRIu64 " %5" PRIu64
+                    "->%-4" PRIu64 " %9" PRIu64 " %6zu %s\n",
+                    e.u64("packet"), e.u64("flow"), e.u64("src"),
+                    e.u64("dst"), e.u64("latency"),
+                    hops ? hops->items.size() : 0,
+                    tags.empty() ? " -" : tags.c_str());
+    }
+    return out;
+}
+
+std::string
+renderPacket(const Json &doc, std::uint64_t id)
+{
+    const Json *exs = doc.find("exemplars");
+    const Json *ex = nullptr;
+    if (exs) {
+        for (const Json &e : exs->items) {
+            if (e.u64("packet") == id) {
+                ex = &e;
+                break;
+            }
+        }
+    }
+    if (!ex)
+        return strf("packet %" PRIu64
+                    ": no exemplar in this dump (raise sampleRate or "
+                    "tailExemplars)\n",
+                    id);
+
+    std::string out = strf(
+        "packet %" PRIu64 " flow=%" PRIu64 " route=%" PRIu64
+        "->%" PRIu64 " accepted=@%" PRIu64 " delivered=@%" PRIu64
+        " latency=%" PRIu64 "%s\n",
+        id, ex->u64("flow"), ex->u64("src"), ex->u64("dst"),
+        ex->u64("accepted"), ex->u64("delivered"), ex->u64("latency"),
+        ex->flag("tail") ? " [tail]" : "");
+    if (const Json *stages = ex->find("stages")) {
+        out += "  stages:";
+        for (const char *name : kStages) {
+            const std::uint64_t c = stageOf(*stages, name);
+            if (c)
+                out += strf(" %s=%" PRIu64, name, c);
+        }
+        out += strf(" (additive sum %" PRIu64 ")\n",
+                    additiveTotal(*stages));
+    }
+    if (const Json *src_blame = ex->find("src_blame")) {
+        if (!src_blame->items.empty()) {
+            out += "  source blame:";
+            for (const Json &b : src_blame->items)
+                out += strf(" flow%" PRIu64 "=%" PRIu64, b.u64("flow"),
+                            b.u64("cycles"));
+            out += "\n";
+        }
+    }
+    const Json *hops = ex->find("hops");
+    if (!hops || hops->items.empty()) {
+        out += "  critical path: (no hop records)\n";
+        return out;
+    }
+    out += "  critical path:\n";
+    for (const Json &h : hops->items) {
+        out += strf("    node %-4" PRIu64 " out=%-6s arrive=@%-8" PRIu64
+                    " forward=@%-8" PRIu64,
+                    h.u64("node"), h.text("out", "?").c_str(),
+                    h.u64("arrive"), h.u64("forward"));
+        if (h.find("booked_slot"))
+            out += strf(" slot=%" PRIu64, h.u64("booked_slot"));
+        for (const char *name :
+             {"link", "lookahead_wait", "reservation_wait",
+              "switch_stall", "spec_savings"}) {
+            const std::uint64_t c = h.u64(name);
+            if (c)
+                out += strf(" %s=%" PRIu64, name, c);
+        }
+        if (const Json *bl = h.find("blame")) {
+            if (!bl->items.empty()) {
+                out += " blame:";
+                for (const Json &b : bl->items)
+                    out += strf(" flow%" PRIu64 "=%" PRIu64,
+                                b.u64("flow"), b.u64("cycles"));
+            }
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+renderFlight(const Json &doc)
+{
+    const Json *flight = doc.find("flight");
+    if (!flight || flight->items.empty())
+        return "flight recorder: disabled or empty\n";
+    std::string out = "flight recorder (last events per router):\n";
+    for (const Json &node : flight->items) {
+        const Json *events = node.find("events");
+        if (!events || events->items.empty())
+            continue;
+        out += strf("  node %" PRIu64 ":\n", node.u64("node"));
+        for (const Json &e : events->items) {
+            out += strf("    @%-8" PRIu64 " %-16s lane=%-6s",
+                        e.u64("cycle"), e.text("event", "?").c_str(),
+                        e.text("lane", "?").c_str());
+            if (e.find("flow"))
+                out += strf(" flow=%" PRIu64, e.u64("flow"));
+            if (e.flag("spec"))
+                out += " spec";
+            if (e.find("reason"))
+                out += strf(" reason=%s", e.text("reason").c_str());
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace blame

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * loft-blame: renders trace dump documents (schema "loft-trace-dump/1",
+ * produced by TraceCollector::dumpJson) as human-readable reports —
+ * per-stage latency breakdown, flow x flow interference matrix,
+ * per-flow tables, a chosen packet's critical path, and the
+ * flight-recorder rings. Parsing and rendering are library functions
+ * so tests can golden-check the output without spawning a process.
+ */
+
+#ifndef LOFT_BLAME_BLAME_REPORT_HH
+#define LOFT_BLAME_BLAME_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace blame
+{
+
+/** A parsed JSON value; just enough for the dump schema. */
+struct Json
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Json> items;
+    /** Object fields in document order. */
+    std::vector<std::pair<std::string, Json>> fields;
+
+    /** Field lookup; null when absent or not an object. */
+    const Json *find(const std::string &key) const;
+    /** Field as number / string / bool with a default. */
+    double num(const std::string &key, double dflt = 0.0) const;
+    std::uint64_t u64(const std::string &key,
+                      std::uint64_t dflt = 0) const;
+    std::string text(const std::string &key,
+                     const std::string &dflt = "") const;
+    bool flag(const std::string &key, bool dflt = false) const;
+};
+
+/** Parse @p text; on failure returns false and sets @p error. */
+bool parseJson(const std::string &text, Json &out, std::string &error);
+
+/** "kind=... mesh=... reason=..." header plus packet totals. */
+std::string renderSummary(const Json &doc);
+
+/** Per-stage latency breakdown table (cycles and % of total). */
+std::string renderStages(const Json &doc);
+
+/** Interference matrix: top victim/aggressor pairs. */
+std::string renderMatrix(const Json &doc);
+
+/** Per-flow table: packets, latency, dominant stage, throttling. */
+std::string renderFlows(const Json &doc);
+
+/** Exemplar index: one line per retained packet trace. */
+std::string renderExemplars(const Json &doc);
+
+/** Critical path of packet @p id (stage sums plus every hop). Returns
+ *  an error line when the packet has no exemplar in the dump. */
+std::string renderPacket(const Json &doc, std::uint64_t id);
+
+/** Flight-recorder rings (last N events per router). */
+std::string renderFlight(const Json &doc);
+
+} // namespace blame
+
+#endif // LOFT_BLAME_BLAME_REPORT_HH

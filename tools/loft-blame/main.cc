@@ -1,0 +1,124 @@
+/**
+ * @file
+ * loft-blame CLI: render a TraceCollector dump (trace_*.json) as
+ * latency-breakdown and blame-attribution reports. See docs/TRACING.md.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "blame_report.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options] <trace-dump.json>\n"
+        "\n"
+        "Render a LOFT trace dump (schema loft-trace-dump/1).\n"
+        "With no section options: summary, stages, matrix, flows.\n"
+        "\n"
+        "  --stages        per-stage latency breakdown\n"
+        "  --matrix        flow x flow interference matrix\n"
+        "  --flows         per-flow table\n"
+        "  --exemplars     index of retained packet traces\n"
+        "  --packet <id>   critical path of one packet\n"
+        "  --flight        flight-recorder rings\n"
+        "  --all           every section\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool stages = false, matrix = false, flows = false;
+    bool exemplars = false, flight = false;
+    bool have_packet = false;
+    std::uint64_t packet = 0;
+    const char *path = nullptr;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--stages")) {
+            stages = true;
+        } else if (!std::strcmp(arg, "--matrix")) {
+            matrix = true;
+        } else if (!std::strcmp(arg, "--flows")) {
+            flows = true;
+        } else if (!std::strcmp(arg, "--exemplars")) {
+            exemplars = true;
+        } else if (!std::strcmp(arg, "--flight")) {
+            flight = true;
+        } else if (!std::strcmp(arg, "--all")) {
+            stages = matrix = flows = exemplars = flight = true;
+        } else if (!std::strcmp(arg, "--packet")) {
+            if (++i >= argc)
+                return usage(argv[0]);
+            packet = std::strtoull(argv[i], nullptr, 0);
+            have_packet = true;
+        } else if (!std::strcmp(arg, "--help") ||
+                   !std::strcmp(arg, "-h")) {
+            return usage(argv[0]);
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "unknown option: %s\n", arg);
+            return usage(argv[0]);
+        } else if (!path) {
+            path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (!path)
+        return usage(argv[0]);
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    blame::Json doc;
+    std::string error;
+    if (!blame::parseJson(ss.str(), doc, error)) {
+        std::fprintf(stderr, "%s: parse error: %s\n", path,
+                     error.c_str());
+        return 1;
+    }
+    const std::string schema = doc.text("schema");
+    if (schema != "loft-trace-dump/1") {
+        std::fprintf(stderr, "%s: unexpected schema \"%s\"\n", path,
+                     schema.c_str());
+        return 1;
+    }
+
+    const bool dflt = !stages && !matrix && !flows && !exemplars &&
+                      !flight && !have_packet;
+    std::string out = blame::renderSummary(doc);
+    if (dflt || stages)
+        out += "\n" + blame::renderStages(doc);
+    if (dflt || matrix)
+        out += "\n" + blame::renderMatrix(doc);
+    if (dflt || flows)
+        out += "\n" + blame::renderFlows(doc);
+    if (exemplars)
+        out += "\n" + blame::renderExemplars(doc);
+    if (have_packet)
+        out += "\n" + blame::renderPacket(doc, packet);
+    if (flight)
+        out += "\n" + blame::renderFlight(doc);
+    std::fputs(out.c_str(), stdout);
+    return 0;
+}
