@@ -57,6 +57,51 @@ def load(path):
         return json.load(f)
 
 
+def check_scale(cur, base, tolerance, failures):
+    """Gate a BENCH_scale.json report (bench_scale --json): directional
+    cycles/sec floors per (mesh, kind), and a hard zero-allocation gate
+    — any steady-state heap allocation is a correctness failure of the
+    zero-allocation invariant (docs/SCALE.md), not a perf regression."""
+    if not cur.get("zero_allocs", False):
+        failures.append(
+            "steady-state allocations were nonzero somewhere "
+            "(zero-allocation invariant broken; see bench_scale output)"
+        )
+    for mesh, kinds in cur.get("meshes", {}).items():
+        for kind, point in kinds.items():
+            name = f"{mesh}.{kind}"
+            allocs = point.get("steady_allocs", 0)
+            if allocs:
+                failures.append(
+                    f"{name}: {allocs} steady-state heap allocation(s) "
+                    "in the measurement window (must be 0)"
+                )
+            c = point.get("cycles_per_sec")
+            b = base.get("meshes", {}).get(mesh, {}).get(kind, {}).get(
+                "cycles_per_sec"
+            )
+            if c is None or b is None:
+                failures.append(
+                    f"{name}.cycles_per_sec: missing from report"
+                )
+                continue
+            floor = b * (1.0 - tolerance)
+            ratio = c / b if b else float("inf")
+            verdict = "OK"
+            if c < floor:
+                verdict = "REGRESSED"
+                failures.append(
+                    f"{name}.cycles_per_sec: {c:.3g} < floor "
+                    f"{floor:.3g} (baseline {b:.3g}, {ratio:.2f}x)"
+                )
+            elif ratio > 1.0 + tolerance:
+                verdict = "IMPROVED (consider refreshing the baseline)"
+            print(
+                f"  {name + '.cycles_per_sec':<30} current {c:>12.3g}  "
+                f"baseline {b:>12.3g}  {ratio:>5.2f}x  {verdict}"
+            )
+
+
 def check_speedup_floor(label, speedup, workers, hw_threads, floor,
                         failures):
     """Enforce a wall-clock speedup floor, or skip it when the host
@@ -126,6 +171,16 @@ def main():
             f"schema mismatch: {cur.get('schema')!r} vs "
             f"{base.get('schema')!r} (refresh the baseline)"
         )
+
+    if cur.get("bench") == "scale":
+        check_scale(cur, base, args.tolerance, failures)
+        if failures:
+            print("\nFAIL:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print("\nbench check passed")
+        return 0
 
     if not cur.get("identical", False):
         failures.append(

@@ -2,7 +2,7 @@
 # Repo-wide determinism & protocol-invariant lint gate (docs/LINT.md).
 #
 # Builds the loft-tidy engine (unless LOFT_TIDY_BIN points at one),
-# runs its four custom checks over every .cc/.hh under src/, and fails
+# runs its five custom checks over every .cc/.hh under src/, and fails
 # if any diagnostic is not covered by tools/loft-tidy/baseline.txt.
 # Baseline entries that no longer fire are reported so the baseline
 # only ever shrinks.

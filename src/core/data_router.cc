@@ -13,13 +13,45 @@ LoftDataRouter::LoftDataRouter(NodeId id, const Mesh2D &mesh,
     : id_(id), mesh_(mesh), params_(params)
 {
     params_.validate();
+    // Bound on quanta simultaneously staged without a reservation: the
+    // staged flits occupy physical buffer space, so the unclaimed map
+    // can never outgrow the buffers' worth of quanta.
+    const std::size_t unclaimed_cap =
+        params_.bufferQuanta() +
+        params_.specBufferFlits / params_.quantumFlits + 1;
     for (std::size_t p = 0; p < kNumPorts; ++p) {
         outputs_[p].sched = std::make_unique<OutputScheduler>(
             params_, csprintf("router%u.%s.sched", id,
-                              portName(static_cast<Port>(p))));
+                              portName(static_cast<Port>(p))),
+            &pool_);
         outputs_[p].dnNonspecFree = params_.centralBufferFlits;
         outputs_[p].dnSpecFree = params_.specBufferFlits;
+
+        InputPort &ip = inputs_[p];
+        // Rebind every node-churning container onto the router's pool
+        // (allocators propagate on move assignment), then pre-size the
+        // hash tables to their run-bounded key populations so they
+        // never rehash mid-run.
+        ip.records = decltype(ip.records)(
+            0, PoolAlloc<std::pair<const std::uint64_t, QuantumRecord>>(
+                   &pool_));
+        ip.records.reserve(params_.windowSlots());
+        ip.unclaimed = decltype(ip.unclaimed)(
+            0,
+            PoolAlloc<std::pair<const std::uint64_t, UnclaimedQuantum>>(
+                &pool_));
+        ip.unclaimed.reserve(unclaimed_cap);
+        for (auto &idx : ip.schedIdx)
+            idx = PoolMap<Slot, std::uint64_t>(
+                PoolAlloc<std::pair<const Slot, std::uint64_t>>(&pool_));
+        pending_[p] = PendingMap(
+            PoolAlloc<std::pair<const std::pair<FlowId, std::uint64_t>,
+                                PendingRef>>(&pool_));
     }
+    // One head entry per distinct flow with pending quanta at an
+    // output; every such flow holds a scheduler table entry, so
+    // maxFlows bounds the scratch and its growth stays in warm-up.
+    headsScratch_.reserve(params_.maxFlows);
 }
 
 void
@@ -76,7 +108,7 @@ LoftDataRouter::admitLookahead(Port in, const LookaheadFlit &la,
               id_, la.flow,
               static_cast<unsigned long long>(la.quantumNo));
     }
-    QuantumRecord rec;
+    QuantumRecord rec(&pool_);
     rec.flow = la.flow;
     rec.quantumNo = la.quantumNo;
     rec.expectedFlits = la.quantumFlits;
@@ -92,7 +124,8 @@ LoftDataRouter::admitLookahead(Port in, const LookaheadFlit &la,
             params_.quantumFlits;
     pending_[portIndex(rec.outPort)].emplace(
         std::make_pair(la.flow, la.quantumNo),
-        key | (std::uint64_t(portIndex(in)) << 60));
+        PendingRef{key,
+                   static_cast<std::uint32_t>(portIndex(in))});
     // Claim any data flits that arrived ahead of this admission.
     auto un = ip.unclaimed.find(key);
     if (un != ip.unclaimed.end()) {
@@ -135,10 +168,8 @@ LoftDataRouter::schedulePending(Port outp, Cycle now,
     for (std::size_t k = 0; k < heads.size(); ++k) {
         auto it = heads[(start + k) % heads.size()];
         const FlowId flow = it->first.first;
-        const std::size_t in =
-            static_cast<std::size_t>(it->second >> 60);
-        const std::uint64_t key =
-            it->second & ((std::uint64_t(1) << 60) - 1);
+        const std::size_t in = it->second.inPort;
+        const std::uint64_t key = it->second.key;
         InputPort &ip = inputs_[in];
         QuantumRecord &rec = ip.records.at(key);
 
@@ -230,7 +261,7 @@ LoftDataRouter::receiveData(Cycle now)
             if (it == ip.records.end()) {
                 // The leading look-ahead is still waiting for a free
                 // input-table entry; stage the flit until it lands.
-                auto [un, staged] = ip.unclaimed.try_emplace(key);
+                auto [un, staged] = ip.unclaimed.try_emplace(key, &pool_);
                 if (staged) {
                     un->second.firstArrival = now;
                     un->second.nextReissueAt =
@@ -444,8 +475,7 @@ LoftDataRouter::maybeLocalReset(Cycle now)
 }
 
 void
-LoftDataRouter::dropQuantumFlits(std::size_t in,
-                                 std::deque<BufferedFlit> &flits,
+LoftDataRouter::dropQuantumFlits(std::size_t in, FlitFifo &flits,
                                  Cycle now)
 {
     InputPort &ip = inputs_[in];

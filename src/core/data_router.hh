@@ -18,10 +18,7 @@
 #define NOC_CORE_DATA_ROUTER_HH
 
 #include <array>
-#include <deque>
-#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "core/messages.hh"
 #include "core/output_scheduler.hh"
@@ -30,6 +27,7 @@
 #include "net/topology.hh"
 #include "router/arbiter.hh"
 #include "sim/clocked.hh"
+#include "sim/pool.hh"
 
 namespace noc
 {
@@ -158,6 +156,12 @@ class LoftDataRouter final : public Clocked
     {
         return outputs_[portIndex(p)].flitsForwarded;
     }
+    /** Bucket count of input @p p's record table (no-rehash probe:
+     *  pre-sized at construction, this must never change mid-run). */
+    std::size_t recordBucketCount(Port p) const
+    {
+        return inputs_[portIndex(p)].records.bucket_count();
+    }
     /// @}
 
   private:
@@ -168,9 +172,47 @@ class LoftDataRouter final : public Clocked
         bool spec;
     };
 
+    /**
+     * FIFO of one quantum's buffered flits, pool-backed. A quantum
+     * holds at most quantumFlits flits, so a consumed head index over
+     * a pooled vector beats a deque: the single backing allocation is
+     * recycled through the router's Pool when the record dies, and the
+     * per-cycle push/pop path never touches the heap.
+     */
+    struct FlitFifo
+    {
+        PoolVec<BufferedFlit> flits;
+        std::uint32_t head = 0;
+
+        explicit FlitFifo(Pool *pool = nullptr)
+            : flits(PoolAlloc<BufferedFlit>(pool))
+        {
+        }
+
+        bool empty() const { return head == flits.size(); }
+        std::size_t size() const { return flits.size() - head; }
+        BufferedFlit &front() { return flits[head]; }
+        const BufferedFlit &front() const { return flits[head]; }
+        const BufferedFlit &back() const { return flits.back(); }
+        void push_back(const BufferedFlit &bf) { flits.push_back(bf); }
+        void pop_front() { ++head; }
+
+        void
+        clear()
+        {
+            flits.clear();
+            head = 0;
+        }
+
+        auto begin() { return flits.begin() + head; }
+        auto end() { return flits.end(); }
+    };
+
     /** Input reservation table entry: one quantum led by one LA flit. */
     struct QuantumRecord
     {
+        explicit QuantumRecord(Pool *pool = nullptr) : buffered(pool) {}
+
         FlowId flow = kInvalidFlow;
         std::uint64_t quantumNo = 0;
         std::uint32_t expectedFlits = 0;
@@ -193,7 +235,7 @@ class LoftDataRouter final : public Clocked
          * started early -> speculative.
          */
         bool sendSpec = false;
-        std::deque<BufferedFlit> buffered;
+        FlitFifo buffered;
     };
 
     /**
@@ -203,7 +245,9 @@ class LoftDataRouter final : public Clocked
      */
     struct UnclaimedQuantum
     {
-        std::deque<BufferedFlit> flits;
+        explicit UnclaimedQuantum(Pool *pool = nullptr) : flits(pool) {}
+
+        FlitFifo flits;
         Cycle firstArrival = 0;
         std::uint32_t reissues = 0;
         /** Timeout already reported as a detected look-ahead loss. */
@@ -217,15 +261,19 @@ class LoftDataRouter final : public Clocked
         Channel<DataWireFlit> *dataIn = nullptr;
         Channel<ActualCreditMsg> *actualCreditOut = nullptr;
         Channel<VirtualCreditMsg> *virtualCreditOut = nullptr;
-        std::unordered_map<std::uint64_t, QuantumRecord> records;
+        /** Pool-backed and pre-sized in the router constructor: node
+         *  churn recycles through the pool, and the reserve() makes
+         *  mid-run rehashing impossible (key population is bounded by
+         *  the table capacity). */
+        PoolUMap<std::uint64_t, QuantumRecord> records;
         /**
          * Flits that arrived while their look-ahead still waits for a
          * free input-table entry (the data plane can outrun a
          * back-pressured look-ahead admission by a few cycles).
          */
-        std::unordered_map<std::uint64_t, UnclaimedQuantum> unclaimed;
+        PoolUMap<std::uint64_t, UnclaimedQuantum> unclaimed;
         /** Scheduled records by departure slot, per output port. */
-        std::array<std::map<Slot, std::uint64_t>, kNumPorts> schedIdx;
+        std::array<PoolMap<Slot, std::uint64_t>, kNumPorts> schedIdx;
         std::uint32_t nonspecUsed = 0;
         std::uint32_t specUsed = 0;
     };
@@ -246,9 +294,20 @@ class LoftDataRouter final : public Clocked
         RoundRobinArbiter arb{kNumPorts};
     };
 
+    /**
+     * Key of a live input-table entry. The flow id occupies the full
+     * upper 32 bits (FlowId is 32-bit; the previous `flow << 44`
+     * packing overflowed for flows >= 2^20 and collided across flows
+     * once quanta passed 2^44). The quantum number is taken modulo
+     * 2^32, which is unique among LIVE entries: a port holds at most
+     * windowSlots() quanta of a flow at once, far below 2^32. Keys
+     * sort identically to (flow, quantumNo) for live entries, which
+     * the sorted recovery/scrub sweeps rely on.
+     */
     static std::uint64_t recordKey(FlowId f, std::uint64_t q)
     {
-        return (static_cast<std::uint64_t>(f) << 44) | q;
+        return (static_cast<std::uint64_t>(f) << 32) |
+               (q & 0xffffffffull);
     }
 
     void receiveCredits(Cycle now);
@@ -258,8 +317,7 @@ class LoftDataRouter final : public Clocked
     /** Reclaim scheduled records whose data never arrived (recovery). */
     void scrubStaleRecords(Cycle now);
     /** Give up on a quantum: free buffers, return upstream credits. */
-    void dropQuantumFlits(std::size_t in, std::deque<BufferedFlit> &flits,
-                          Cycle now);
+    void dropQuantumFlits(std::size_t in, FlitFifo &flits, Cycle now);
 
     /** Forward one flit of @p rec through output @p out. */
     void forwardFlit(std::size_t in, QuantumRecord &rec, std::size_t out,
@@ -271,9 +329,33 @@ class LoftDataRouter final : public Clocked
 
     void eraseRecord(std::size_t in, QuantumRecord &rec);
 
+    /**
+     * Where the admitted quantum behind a pending entry lives: the
+     * input-table key plus the input port, as explicit fields. The
+     * previous encoding packed `key | (port << 60)` into one word,
+     * which corrupted both fields once the key's flow bits reached
+     * bit 60 (flow id >= 2^16 under the old key layout).
+     */
+    struct PendingRef
+    {
+        std::uint64_t key = 0;
+        std::uint32_t inPort = 0;
+    };
+
+    using PendingMap =
+        PoolMap<std::pair<FlowId, std::uint64_t>, PendingRef>;
+
     NodeId id_;
     const Mesh2D &mesh_;
     LoftParams params_;
+
+    /**
+     * Backing pool for every node-churning container of this router
+     * (reservation tables, staging maps, scheduler bookings, buffered
+     * flit FIFOs). Declared before them: members are destroyed in
+     * reverse order, so the pool outlives its containers.
+     */
+    Pool pool_;
 
     std::array<InputPort, kNumPorts> inputs_;
     std::array<OutputPort, kNumPorts> outputs_;
@@ -282,17 +364,13 @@ class LoftDataRouter final : public Clocked
      * Admitted-but-unscheduled quanta per output port, ordered by
      * (flow, quantum number) for round-robin service over flows.
      */
-    std::array<std::map<std::pair<FlowId, std::uint64_t>, std::uint64_t>,
-               kNumPorts>
-        pending_;
+    std::array<PendingMap, kNumPorts> pending_;
     /** Round-robin pointer over flows, per output port. */
     std::array<FlowId, kNumPorts> flowPointer_{};
 
     /** Scratch for schedulePending's per-flow head iterators (kept as
      *  a member so the hot path does not allocate every cycle). */
-    std::vector<std::map<std::pair<FlowId, std::uint64_t>,
-                         std::uint64_t>::iterator>
-        headsScratch_;
+    std::vector<PendingMap::iterator> headsScratch_;
 
     /** Scratch key list for the recovery sweeps (avoids allocation). */
     std::vector<std::uint64_t> recoveryScratch_;

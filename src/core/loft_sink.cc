@@ -12,8 +12,13 @@ LoftSink::LoftSink(NodeId node, const LoftParams &params,
                    MetricsCollector *metrics)
     : node_(node), params_(params), in_(in),
       actualCreditOut_(actual_credit_out),
-      virtualCreditOut_(virtual_credit_out), metrics_(metrics)
+      virtualCreditOut_(virtual_credit_out), metrics_(metrics),
+      pending_(PoolAlloc<std::pair<const PacketId, std::uint32_t>>(&pool_))
 {
+    // Pin the bucket array: only a handful of packets are ever
+    // partially received at once, so this never rehashes (asserted by
+    // the zero-allocation tests).
+    pending_.reserve(kPendingReserve);
 }
 
 void

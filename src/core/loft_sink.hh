@@ -9,14 +9,13 @@
 #ifndef NOC_CORE_LOFT_SINK_HH
 #define NOC_CORE_LOFT_SINK_HH
 
-#include <unordered_map>
-
 #include "core/loft_params.hh"
 #include "core/messages.hh"
 #include "net/channel.hh"
 #include "net/instrument.hh"
 #include "net/metrics.hh"
 #include "sim/clocked.hh"
+#include "sim/pool.hh"
 
 namespace noc
 {
@@ -47,14 +46,25 @@ class LoftSink final : public Clocked
     /** Attach an event observer. */
     void setObserver(NetObserver *obs) { observer_ = obs; }
 
+    /** Bucket count of the partial-packet table (no-rehash probe). */
+    std::size_t pendingBucketCount() const
+    {
+        return pending_.bucket_count();
+    }
+
   private:
+    /** Bucket reserve for pending_ (pinned; rehash would allocate). */
+    static constexpr std::size_t kPendingReserve = 256;
+
     NodeId node_;
     LoftParams params_;
+    /** Pool behind pending_'s node churn (destroyed after it). */
+    Pool pool_;
     Channel<DataWireFlit> *in_;
     Channel<ActualCreditMsg> *actualCreditOut_;
     Channel<VirtualCreditMsg> *virtualCreditOut_;
     MetricsCollector *metrics_;
-    std::unordered_map<PacketId, std::uint32_t> pending_;
+    PoolUMap<PacketId, std::uint32_t> pending_;
     std::uint64_t flitsEjected_ = 0;
     std::uint64_t corruptedDeliveries_ = 0;
     NetObserver *observer_ = nullptr;

@@ -9,13 +9,18 @@ namespace noc
 
 LoftSourceUnit::LoftSourceUnit(NodeId node, const LoftParams &params)
     : node_(node), params_(params),
-      sched_(params, csprintf("ni%u.sched", node)),
+      sched_(params, csprintf("ni%u.sched", node), &pool_),
+      outbound_(PoolAlloc<std::pair<const Slot, OutboundQuantum>>(&pool_)),
       dnNonspecFree_(params.centralBufferFlits),
       dnSpecFree_(params.specBufferFlits),
       laCredits_(params.laNumVCs, params.laVcDepth),
       laVcPick_(params.laNumVCs),
       queueCapacityFlits_(params.sourceQueueFlits)
 {
+    // Per-flow counters are created at registration (registerFlow), so
+    // the map's population is fixed before traffic starts; the reserve
+    // pins the bucket array so it never rehashes mid-run.
+    counters_.reserve(params.maxFlows);
 }
 
 void
@@ -40,6 +45,7 @@ void
 LoftSourceUnit::registerFlow(FlowId flow, std::uint32_t reservation_flits)
 {
     sched_.registerFlow(flow, reservation_flits);
+    counters_.try_emplace(flow);
 }
 
 bool
@@ -110,7 +116,7 @@ LoftSourceUnit::buildNextQuantum(Cycle now)
     Packet &pkt = queue_.front();
     FlowCounters &fc = counters_[pkt.flow];
 
-    PendingQuantum pq;
+    PendingQuantum pq(&pool_);
     const std::uint32_t remaining = pkt.sizeFlits - headPacketOffset_;
     const std::uint32_t n =
         std::min(remaining, params_.quantumFlits);
@@ -193,7 +199,7 @@ LoftSourceUnit::emitLookahead(Cycle now)
     NOC_OBSERVE(observer_,
                 onNiQuantumScheduled(node_, pending_->la, granted, now));
 
-    OutboundQuantum ob;
+    OutboundQuantum ob(&pool_);
     ob.flow = pending_->la.flow;
     ob.quantumNo = pending_->la.quantumNo;
     ob.departSlot = granted;

@@ -14,8 +14,6 @@
 #ifndef NOC_CORE_LOFT_SOURCE_HH
 #define NOC_CORE_LOFT_SOURCE_HH
 
-#include <deque>
-#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +24,8 @@
 #include "net/packet.hh"
 #include "router/arbiter.hh"
 #include "sim/clocked.hh"
+#include "sim/pool.hh"
+#include "sim/ring_deque.hh"
 
 namespace noc
 {
@@ -80,10 +80,15 @@ class LoftSourceUnit final : public Clocked
     /** One quantum waiting to depart over the local link. */
     struct OutboundQuantum
     {
+        explicit OutboundQuantum(Pool *pool = nullptr)
+            : flits(PoolAlloc<Flit>(pool))
+        {
+        }
+
         FlowId flow = kInvalidFlow;
         std::uint64_t quantumNo = 0;
         Slot departSlot = 0;
-        std::vector<Flit> flits;
+        PoolVec<Flit> flits;
         std::uint32_t sent = 0;
         /** Sticky buffer choice, decided at the first flit. */
         bool sendSpec = false;
@@ -92,8 +97,13 @@ class LoftSourceUnit final : public Clocked
     /** A quantum built from the head packet, awaiting scheduling. */
     struct PendingQuantum
     {
+        explicit PendingQuantum(Pool *pool = nullptr)
+            : flits(PoolAlloc<Flit>(pool))
+        {
+        }
+
         LookaheadFlit la;
-        std::vector<Flit> flits;
+        PoolVec<Flit> flits;
     };
 
     void receiveCredits(Cycle now);
@@ -104,6 +114,9 @@ class LoftSourceUnit final : public Clocked
 
     NodeId node_;
     LoftParams params_;
+    /** Backing pool for the NI's churn containers (declared before
+     *  them so it is destroyed last). */
+    Pool pool_;
     OutputScheduler sched_;
 
     Channel<DataWireFlit> *dataOut_ = nullptr;
@@ -112,7 +125,7 @@ class LoftSourceUnit final : public Clocked
     Channel<LaWireFlit> *laOut_ = nullptr;
     Channel<LaCredit> *laCreditIn_ = nullptr;
 
-    std::deque<Packet> queue_;
+    RingDeque<Packet> queue_;
     std::uint64_t queuedFlits_ = 0;
 
     /** Segmentation cursor within the head packet. */
@@ -121,7 +134,7 @@ class LoftSourceUnit final : public Clocked
     std::optional<PendingQuantum> pending_;
 
     /** Scheduled-but-not-fully-sent quanta keyed by departure slot. */
-    std::map<Slot, OutboundQuantum> outbound_;
+    PoolMap<Slot, OutboundQuantum> outbound_;
 
     /** Downstream (router local input) buffer space, flit granular. */
     std::uint32_t dnNonspecFree_;

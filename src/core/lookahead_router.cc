@@ -13,8 +13,12 @@ LookaheadRouter::LookaheadRouter(NodeId id, const Mesh2D &mesh,
                                  LoftDataRouter *data)
     : id_(id), mesh_(mesh), params_(params), data_(data)
 {
-    for (auto &ip : inputs_)
-        ip.vcs.resize(params.laNumVCs);
+    for (auto &ip : inputs_) {
+        ip.store.resize(static_cast<std::size_t>(params.laNumVCs) *
+                        params.laVcDepth);
+        ip.head.assign(params.laNumVCs, 0);
+        ip.count.assign(params.laNumVCs, 0);
+    }
     for (auto &op : outputs_) {
         op.credits.assign(params.laNumVCs, params.laVcDepth);
         op.vcPick.resize(params.laNumVCs);
@@ -73,10 +77,13 @@ LookaheadRouter::receiveFlits(Cycle now)
                     ip.creditReturn->send(now, LaCredit{wf->vc});
                 continue;
             }
-            auto &vc = ip.vcs.at(wf->vc);
-            if (vc.size() >= params_.laVcDepth)
+            if (wf->vc >= params_.laNumVCs)
+                panic("la-router %u: bad VC %u on port %zu", id_,
+                      wf->vc, p);
+            if (ip.count[wf->vc] >= params_.laVcDepth)
                 panic("la-router %u: VC overflow on port %zu", id_, p);
-            vc.emplace_back(wf->flit, now + params_.routerStages - 1);
+            laPush(ip, wf->vc, wf->flit,
+                   now + params_.routerStages - 1);
         }
     }
 }
@@ -91,15 +98,14 @@ LookaheadRouter::admitToTables(Cycle now)
     for (std::size_t p = 0; p < kNumPorts; ++p) {
         InputPort &ip = inputs_[p];
         for (std::uint32_t v = 0; v < params_.laNumVCs; ++v) {
-            auto &vc = ip.vcs[v];
-            while (!vc.empty() &&
+            while (ip.count[v] != 0 &&
                    data_->admitLookahead(static_cast<Port>(p),
-                                         vc.front().flit, now,
-                                         vc.front().readyAt)) {
+                                         laFront(ip, v).flit, now,
+                                         laFront(ip, v).readyAt)) {
                 DPRINTF(La, now, "la-router %u: admitted flow %u "
                         "quantum from port %zu vc %u", id_,
-                        vc.front().flit.flow, p, v);
-                vc.pop_front();
+                        laFront(ip, v).flit.flow, p, v);
+                laPop(ip, v);
                 if (ip.creditReturn)
                     ip.creditReturn->send(now, LaCredit{v});
             }
@@ -176,8 +182,8 @@ LookaheadRouter::quiescent() const
     for (const InputPort &ip : inputs_) {
         if (ip.in && !ip.in->empty())
             return false;
-        for (const auto &vc : ip.vcs)
-            if (!vc.empty())
+        for (const std::uint32_t c : ip.count)
+            if (c != 0)
                 return false;
     }
     for (const OutputPort &op : outputs_) {
@@ -197,8 +203,8 @@ LookaheadRouter::bufferedFlits() const
 {
     std::uint64_t total = 0;
     for (const auto &ip : inputs_)
-        for (const auto &vc : ip.vcs)
-            total += vc.size();
+        for (const std::uint32_t c : ip.count)
+            total += c;
     return total;
 }
 

@@ -13,7 +13,6 @@
 #define NOC_CORE_LOOKAHEAD_ROUTER_HH
 
 #include <array>
-#include <deque>
 #include <vector>
 
 #include "core/data_router.hh"
@@ -56,14 +55,25 @@ class LookaheadRouter final : public Clocked
     struct TimedLa
     {
         LookaheadFlit flit;
-        Cycle readyAt;
+        Cycle readyAt = 0;
     };
 
+    /**
+     * One input port. Each VC's buffer is a fixed-capacity ring slice
+     * of the port's flat store (structure-of-arrays): look-ahead
+     * credits bound occupancy to laVcDepth, so the slices never
+     * overflow and no buffer allocation happens after construction.
+     */
     struct InputPort
     {
         Channel<LaWireFlit> *in = nullptr;
         Channel<LaCredit> *creditReturn = nullptr;
-        std::vector<std::deque<TimedLa>> vcs;
+        /** Flat VC buffer store, [vc * laVcDepth + slot]. */
+        std::vector<TimedLa> store;
+        /** Ring cursor (head-slot offset) per VC. */
+        std::vector<std::uint32_t> head;
+        /** Buffered flit count per VC. */
+        std::vector<std::uint32_t> count;
     };
 
     struct OutputPort
@@ -78,6 +88,37 @@ class LookaheadRouter final : public Clocked
     void receiveFlits(Cycle now);
     void admitToTables(Cycle now);
     void allocateAndSchedule(Cycle now);
+
+    /// @name Fixed-ring VC buffer primitives (over InputPort::store).
+    /// @{
+    const TimedLa &
+    laFront(const InputPort &ip, std::uint32_t vc) const
+    {
+        return ip.store[vc * params_.laVcDepth + ip.head[vc]];
+    }
+
+    void
+    laPush(InputPort &ip, std::uint32_t vc, const LookaheadFlit &f,
+           Cycle ready_at)
+    {
+        std::uint32_t slot = ip.head[vc] + ip.count[vc];
+        if (slot >= params_.laVcDepth)
+            slot -= params_.laVcDepth;
+        TimedLa &t = ip.store[vc * params_.laVcDepth + slot];
+        t.flit = f;
+        t.readyAt = ready_at;
+        ++ip.count[vc];
+    }
+
+    void
+    laPop(InputPort &ip, std::uint32_t vc)
+    {
+        ++ip.head[vc];
+        if (ip.head[vc] == params_.laVcDepth)
+            ip.head[vc] = 0;
+        --ip.count[vc];
+    }
+    /// @}
 
     NodeId id_;
     const Mesh2D &mesh_;

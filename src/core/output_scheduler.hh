@@ -28,6 +28,7 @@
 
 #include "core/loft_params.hh"
 #include "net/instrument.hh"
+#include "sim/pool.hh"
 #include "sim/types.hh"
 
 namespace noc
@@ -43,7 +44,14 @@ struct SlotBooking
 class OutputScheduler
 {
   public:
-    OutputScheduler(const LoftParams &params, std::string name);
+    /**
+     * @param pool optional backing pool for the per-quantum booking /
+     *        credit-return maps (node churn recycles through it). The
+     *        pool must outlive the scheduler; null keeps the maps on
+     *        the global heap (unit tests).
+     */
+    OutputScheduler(const LoftParams &params, std::string name,
+                    Pool *pool = nullptr);
 
     /**
      * Register a contending flow with reservation R_ij given in flits
@@ -206,9 +214,9 @@ class OutputScheduler
     std::int32_t creditBeforeWindow_;
     std::vector<std::uint32_t> skipped_;
     /** Booked quanta keyed by local slot (ordered for earliest lookup). */
-    std::map<std::uint64_t, SlotBooking> bookings_;
+    PoolMap<std::uint64_t, SlotBooking> bookings_;
     /** Credit returns for slots beyond the current window. */
-    std::map<std::uint64_t, std::uint32_t> futureReturns_;
+    PoolMap<std::uint64_t, std::uint32_t> futureReturns_;
 
     /// Ordered so frame-recycle / reset sweeps visit flows in flow-id
     /// order regardless of registration history (fingerprint-stable).

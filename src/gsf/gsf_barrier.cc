@@ -7,10 +7,15 @@ namespace noc
 {
 
 GsfBarrier::GsfBarrier(std::uint32_t window_frames, Cycle barrier_delay)
-    : window_(window_frames), delay_(barrier_delay)
+    : window_(window_frames), delay_(barrier_delay),
+      inFlight_(
+          PoolAlloc<std::pair<const std::uint64_t, std::uint64_t>>(&pool_))
 {
     if (window_frames < 2)
         fatal("GsfBarrier: window must have at least 2 frames");
+    // At most `window_` frames are active at once; doubled for the
+    // drain tail so the bucket array never rehashes mid-run.
+    inFlight_.reserve(2 * static_cast<std::size_t>(window_) + 8);
 }
 
 void
@@ -64,7 +69,16 @@ GsfBarrier::ejectNow(std::uint64_t frame)
 void
 GsfBarrier::beginParallel(unsigned domains)
 {
-    deferred_.resize(domains);
+    // Grow-only, like MetricsCollector::beginParallel: buffer capacity
+    // survives across run windows so the measurement window never pays
+    // for first-time growth.
+    if (deferred_.size() < domains)
+        deferred_.resize(domains);
+    if (deferredReserve_ != 0) {
+        for (std::vector<FrameEvent> &buf : deferred_)
+            if (buf.capacity() < deferredReserve_)
+                buf.reserve(deferredReserve_);
+    }
 }
 
 void
@@ -89,7 +103,8 @@ GsfBarrier::mergeDomains()
 void
 GsfBarrier::endParallel()
 {
-    deferred_.clear();
+    for (std::vector<FrameEvent> &buf : deferred_)
+        buf.clear();
 }
 
 void

@@ -9,12 +9,11 @@
 #define NOC_GSF_GSF_BARRIER_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/clocked.hh"
 #include "sim/parallel.hh"
+#include "sim/pool.hh"
 #include "sim/types.hh"
 
 namespace noc
@@ -59,12 +58,29 @@ class GsfBarrier final : public Clocked, public DomainMerged
     /** Number of window advances so far (diagnostics). */
     std::uint64_t recycleCount() const { return recycles_; }
 
+    /** Bucket count of the in-flight table (no-rehash probe). */
+    std::size_t inFlightBucketCount() const
+    {
+        return inFlight_.bucket_count();
+    }
+
     void tick(Cycle now) override;
 
     // DomainMerged
     void beginParallel(unsigned domains) override;
     void mergeDomains() override;
     void endParallel() override;
+
+    /**
+     * Pre-size each per-domain event buffer to @p per_domain entries
+     * (2 x node count bounds a cycle's events: at most one admission
+     * per source and one ejection per sink per cycle). Keeps first-time
+     * buffer growth out of the measurement window.
+     */
+    void setDeferredReserve(std::size_t per_domain)
+    {
+        deferredReserve_ = per_domain;
+    }
 
   private:
     /** One buffered admission (flits > 0) or ejection (admit false). */
@@ -81,14 +97,24 @@ class GsfBarrier final : public Clocked, public DomainMerged
     std::uint32_t window_;
     Cycle delay_;
     std::uint64_t head_ = 0;
-    /** In-flight flit count per absolute frame. */
-    std::unordered_map<std::uint64_t, std::uint64_t> inFlight_;
+    /** Pool behind inFlight_'s node churn (destroyed after it). */
+    Pool pool_;
+    /** In-flight flit count per absolute frame. Admissions only land
+     *  in active frames, so the live population never exceeds the
+     *  window; the reserve pins the bucket array. */
+    PoolUMap<std::uint64_t, std::uint64_t> inFlight_;
     std::uint64_t totalInFlight_ = 0;
     /** Cycle at which a pending advance completes (kNeverCycle: none). */
     Cycle advanceAt_ = kNeverCycle;
     std::uint64_t recycles_ = 0;
-    /** Per-domain event buffers; non-empty only in a parallel window. */
+    /**
+     * Per-domain event buffers. Only written inside a partitioned
+     * phase (currentDomain() >= 0); kept allocated between run windows
+     * so their capacity plateaus after warm-up.
+     */
     std::vector<std::vector<FrameEvent>> deferred_;
+    /** Reserve applied to each domain buffer (0 = grow on demand). */
+    std::size_t deferredReserve_ = 0;
 };
 
 } // namespace noc

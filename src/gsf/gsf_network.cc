@@ -18,6 +18,10 @@ GsfNetwork::GsfNetwork(const Mesh2D &mesh, const GsfParams &params,
     fabric_.setPriorityFn(
         [](const Flit &f) -> std::uint64_t { return f.frame; });
 
+    // Each node admits at most one packet and ejects at most one flit
+    // per cycle, so 2 x nodes bounds a cycle's barrier events.
+    barrier_.setDeferredReserve(2 * mesh.numNodes() + 8);
+
     sources_.reserve(mesh.numNodes());
     for (NodeId id = 0; id < mesh.numNodes(); ++id)
         sources_.push_back(std::make_unique<GsfSourceUnit>(

@@ -9,6 +9,7 @@
 #include "net/deferred_observer.hh"
 #include "net/observer_mux.hh"
 #include "sim/logging.hh"
+#include "sim/alloc.hh"
 #include "sim/simulator.hh"
 
 namespace noc
@@ -139,6 +140,9 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
     Mesh2D mesh(cfg.meshWidth, cfg.meshHeight);
     std::unique_ptr<Network> net =
         buildNetwork(cfg, mesh, injector.get());
+    // At most one flit and one packet sample per sink per cycle, so
+    // 2 x nodes bounds a cycle's deferred metric samples per domain.
+    net->metrics().setDeferredReserve(2 * mesh.numNodes() + 8);
     auto *loft = dynamic_cast<LoftNetwork *>(net.get());
     auto *gsf = dynamic_cast<GsfNetwork *>(net.get());
 
@@ -251,7 +255,10 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
     net->metrics().startMeasurement(sim.now());
     if (telemetry)
         telemetry->startMeasurement(sim.now());
+    setHeapAllocTrap(std::getenv("LOFT_ALLOC_TRAP") != nullptr);
     sim.run(cfg.measureCycles);
+    setHeapAllocTrap(false);
+    const std::uint64_t steady_allocs = sim.lastRunHeapAllocs();
     net->metrics().stopMeasurement(sim.now());
     if (telemetry) {
         telemetry->stopMeasurement(sim.now());
@@ -270,6 +277,7 @@ runExperiment(const RunConfig &config, const TrafficPattern &pattern,
     r.networkThroughput = m.networkThroughput(mesh.numNodes());
     r.totalFlits = m.totalFlits();
     r.totalPackets = m.totalPackets();
+    r.steadyStateHeapAllocs = steady_allocs;
     for (std::size_t i = 0; i < pattern.flows.size(); ++i) {
         const FlowId id = pattern.flows[i].id;
         r.flowThroughput.push_back(m.flowThroughput(id));

@@ -125,6 +125,15 @@ struct RunResult
     std::uint64_t totalFlits = 0;
     std::uint64_t totalPackets = 0;
 
+    /**
+     * Heap allocations performed during the measurement phase (the
+     * warm-up run is the model's allocation ramp). 0 in steady state by
+     * design — asserted by the scale bench and the soak tests. NOT part
+     * of sweepFingerprint: it reflects the allocator census, not model
+     * behaviour.
+     */
+    std::uint64_t steadyStateHeapAllocs = 0;
+
     /// @name LOFT-specific diagnostics (zero for other networks)
     /// @{
     std::uint64_t localResets = 0;

@@ -23,8 +23,6 @@
 #ifndef NOC_NET_CHANNEL_HH
 #define NOC_NET_CHANNEL_HH
 
-#include <algorithm>
-#include <deque>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -32,6 +30,7 @@
 #include "net/instrument.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
+#include "sim/ring_deque.hh"
 #include "sim/types.hh"
 
 namespace noc
@@ -73,9 +72,18 @@ class Channel : public PendingPort
     {
         if (latency == 0)
             panic("Channel latency must be >= 1");
+        // Senders put at most a handful of messages on a wire per
+        // cycle and receivers drain every ready message each tick, so
+        // occupancy is bounded by ~latency + 1 in flight plus the
+        // current cycle's sends. Reserving here keeps first-traffic
+        // growth out of the measurement window: a link whose first
+        // message happens after warm-up must not allocate.
+        inFlight_.reserve(static_cast<std::size_t>(latency) + 2);
+        pending_.reserve(kPendingReserve);
     }
 
     /** Send @p value at cycle @p now; arrives at now + latency. */
+    // loft-tidy: steady-state-hot
     void
     send(Cycle now, T value)
     {
@@ -95,10 +103,13 @@ class Channel : public PendingPort
                 panic("Channel::send in concurrent mode outside a "
                       "simulation phase");
             if (pending_.empty())
+                // loft-tidy: pooled(reserved in Simulator::preparePlan)
                 dirty->push_back(this);
+            // loft-tidy: pooled(kPendingReserve in the constructor)
             pending_.emplace_back(now + latency_, std::move(value));
             return;
         }
+        // loft-tidy: pooled(ring reserved to latency + 2 in the ctor)
         inFlight_.emplace_back(now + latency_, std::move(value));
     }
 
@@ -173,6 +184,7 @@ class Channel : public PendingPort
         return true;
     }
 
+    // loft-tidy: steady-state-hot
     void
     flushPending() override
     {
@@ -180,8 +192,8 @@ class Channel : public PendingPort
         // already in flight was sent in an earlier cycle, so appending
         // keeps the queue sorted by delivery time.
         for (auto &entry : pending_)
-            inFlight_.emplace_back(entry.first,
-                                   std::move(entry.second));
+            // loft-tidy: pooled(ring plateaus at latency-bounded peak)
+            inFlight_.push_back(std::move(entry));
         pending_.clear();
     }
 
@@ -199,16 +211,36 @@ class Channel : public PendingPort
     {
         if (concurrent_)
             panic("Channel::deliverAt in concurrent mode");
-        auto it = std::upper_bound(
-            inFlight_.begin(), inFlight_.end(), when,
-            [](Cycle w, const auto &entry) { return w < entry.first; });
-        inFlight_.insert(it, {when, std::move(value)});
+        // Binary search for the first entry with delivery time > when
+        // (upper bound), then shift-insert. Cold path: late re-delivery
+        // of a faulted message only.
+        std::size_t lo = 0;
+        std::size_t hi = inFlight_.size();
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (when < inFlight_[mid].first)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        inFlight_.insertAt(lo, {when, std::move(value)});
     }
 #endif
 
   private:
+    /** Per-cycle send burst covered without growth (sends per cycle
+     *  per channel are 1 on every wire; credit recovery can burst). */
+    static constexpr std::size_t kPendingReserve = 4;
+
     Cycle latency_;
-    std::deque<std::pair<Cycle, T>> inFlight_;
+    /**
+     * In-flight values, sorted by delivery time. A ring, not a deque:
+     * occupancy is bounded by latency x sends/cycle (flow control
+     * bounds the latter), so the capacity plateaus and the per-cycle
+     * push/pop pair never allocates — unlike std::deque, which
+     * recycles a heap node as the FIFO advances.
+     */
+    RingDeque<std::pair<Cycle, T>> inFlight_;
     /** Sends buffered during a parallel phase (sender thread only). */
     std::vector<std::pair<Cycle, T>> pending_;
     bool concurrent_ = false;

@@ -15,7 +15,11 @@ DeferredObserver::DeferredObserver(NetObserver *downstream)
 void
 DeferredObserver::beginParallel(unsigned domains)
 {
-    perDomain_.resize(domains);
+    // Grow-only so event-buffer capacity carries across run windows
+    // (the guard in push() requires currentDomain() >= 0, so keeping
+    // the buffers alive between windows never diverts a direct event).
+    if (perDomain_.size() < domains)
+        perDomain_.resize(domains);
 }
 
 void
@@ -56,8 +60,8 @@ DeferredObserver::mergeDomains()
 void
 DeferredObserver::endParallel()
 {
-    perDomain_.clear();
-    cursors_.clear();
+    for (std::vector<DeferredNetEvent> &buf : perDomain_)
+        buf.clear();
 }
 
 void

@@ -70,13 +70,27 @@ struct Flit
  * The reference payload of a flit: a cheap splitmix64-style mix of the
  * flit's identity. Deterministic, so any single bit-flip in transit is
  * detectable at the sink without carrying golden data around.
+ *
+ * The flow id is diffused through a full 64-bit finalizer round of its
+ * own before being combined with the flit number. The obvious one-round
+ * `(flow << 40) ^ flit_no` packing aliased distinct identities — flow f
+ * and flit n collided with flow f^1 and n ^ (1 << 40), and any flow
+ * bits above 2^24 were shifted out entirely — so at 64x64-scale flow
+ * populations the end-to-end corruption check could compare against
+ * the wrong golden payload (see ScalePayload.* regression tests).
  */
 constexpr std::uint64_t
 flitPayload(FlowId flow, std::uint64_t flit_no)
 {
-    std::uint64_t z = (static_cast<std::uint64_t>(flow) << 40) ^ flit_no ^
-                      0x9e3779b97f4a7c15ull;
+    std::uint64_t f =
+        static_cast<std::uint64_t>(flow) + 0x9e3779b97f4a7c15ull;
+    f = (f ^ (f >> 30)) * 0xbf58476d1ce4e5b9ull;
+    f = (f ^ (f >> 27)) * 0x94d049bb133111ebull;
+    f ^= f >> 31;
+
+    std::uint64_t z = flit_no + 0x9e3779b97f4a7c15ull;
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z ^= f;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
     return z ^ (z >> 31);
 }

@@ -109,6 +109,18 @@ class MetricsCollector : public DomainMerged
     void mergeDomains() override;
     void endParallel() override;
 
+    /**
+     * Pre-size each per-domain sample buffer to @p per_domain entries
+     * (2 x node count bounds a cycle's ejection events: at most one
+     * flit and one packet sample per sink per cycle). Keeps first-time
+     * buffer growth out of the measurement window so the steady state
+     * stays allocation-free.
+     */
+    void setDeferredReserve(std::size_t per_domain)
+    {
+        deferredReserve_ = per_domain;
+    }
+
   private:
     /** One buffered ejection-side sample. */
     struct DeferredSample
@@ -129,8 +141,14 @@ class MetricsCollector : public DomainMerged
     bool measuring_ = false;
     Cycle windowStart_ = 0;
     Cycle windowEnd_ = 0;
-    /** Per-domain sample buffers; non-empty only in a parallel window. */
+    /**
+     * Per-domain sample buffers. Only written inside a partitioned
+     * phase (currentDomain() >= 0); kept allocated between run windows
+     * so their capacity plateaus after warm-up.
+     */
     std::vector<std::vector<DeferredSample>> deferred_;
+    /** Reserve applied to each domain buffer (0 = grow on demand). */
+    std::size_t deferredReserve_ = 0;
 };
 
 } // namespace noc

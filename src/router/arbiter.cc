@@ -71,6 +71,8 @@ RoundRobinArbiter::arbitrate(std::uint64_t request_mask)
     return winner;
 }
 
+// Runs per output port per cycle in the wormhole fabric.
+// loft-tidy: steady-state-hot
 std::size_t
 RoundRobinArbiter::arbitrate(const std::vector<bool> &requests,
                              const std::vector<std::uint64_t> &keys)
@@ -87,11 +89,21 @@ RoundRobinArbiter::arbitrate(const std::vector<bool> &requests,
     }
     if (!any)
         return npos;
-    // Round-robin among the best-key requestors.
-    std::vector<bool> masked(numInputs_, false);
-    for (std::size_t i = 0; i < numInputs_; ++i)
-        masked[i] = requests[i] && keys[i] == best;
-    return arbitrate(masked);
+    // Round-robin among the best-key requestors: first match at or
+    // after the pointer, wrapping. Equivalent to masking down to the
+    // best-key set and running the plain arbiter, but without its
+    // scratch vector — this runs per output port per cycle, and the
+    // steady state must not allocate.
+    std::size_t winner = npos;
+    for (std::size_t i = 0; i < numInputs_; ++i) {
+        const std::size_t idx = (pointer_ + i) % numInputs_;
+        if (requests[idx] && keys[idx] == best) {
+            winner = idx;
+            break;
+        }
+    }
+    pointer_ = (winner + 1) % numInputs_;
+    return winner;
 }
 
 } // namespace noc

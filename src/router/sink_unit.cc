@@ -8,8 +8,13 @@ namespace noc
 SinkUnit::SinkUnit(NodeId node, Channel<WireFlit> *in,
                    Channel<Credit> *credit_return,
                    MetricsCollector *metrics)
-    : node_(node), in_(in), creditReturn_(credit_return), metrics_(metrics)
+    : node_(node), in_(in), creditReturn_(credit_return), metrics_(metrics),
+      pending_(PoolAlloc<std::pair<const PacketId, std::uint32_t>>(&pool_))
 {
+    // Pin the bucket array: out-of-order delivery under speculative
+    // switching keeps at most a handful of packets partially received,
+    // so 256 buckets never rehash in practice (asserted by tests).
+    pending_.reserve(kPendingReserve);
 }
 
 void

@@ -11,12 +11,12 @@
 #define NOC_ROUTER_SINK_UNIT_HH
 
 #include <functional>
-#include <unordered_map>
 
 #include "net/channel.hh"
 #include "net/metrics.hh"
 #include "router/wormhole_router.hh"
 #include "sim/clocked.hh"
+#include "sim/pool.hh"
 
 namespace noc
 {
@@ -46,14 +46,25 @@ class SinkUnit final : public Clocked
     /** Attach an event observer. */
     void setObserver(NetObserver *obs) { observer_ = obs; }
 
+    /** Bucket count of the partial-packet table (no-rehash probe). */
+    std::size_t pendingBucketCount() const
+    {
+        return pending_.bucket_count();
+    }
+
   private:
+    /** Bucket reserve for pending_ (pinned; rehash would allocate). */
+    static constexpr std::size_t kPendingReserve = 256;
+
     NodeId node_;
+    /** Pool behind pending_'s node churn (destroyed after it). */
+    Pool pool_;
     Channel<WireFlit> *in_;
     Channel<Credit> *creditReturn_;
     MetricsCollector *metrics_;
     std::function<void(const Flit &, Cycle)> onEject_;
     /** Received flit count per partially received packet. */
-    std::unordered_map<PacketId, std::uint32_t> pending_;
+    PoolUMap<PacketId, std::uint32_t> pending_;
     std::uint64_t flitsEjected_ = 0;
     std::uint64_t corruptedDeliveries_ = 0;
     NetObserver *observer_ = nullptr;

@@ -11,12 +11,11 @@
 #ifndef NOC_ROUTER_SOURCE_UNIT_HH
 #define NOC_ROUTER_SOURCE_UNIT_HH
 
-#include <deque>
-
 #include "net/channel.hh"
 #include "net/packet.hh"
 #include "router/wormhole_router.hh"
 #include "sim/clocked.hh"
+#include "sim/ring_deque.hh"
 
 namespace noc
 {
@@ -106,7 +105,9 @@ class SourceUnit : public Clocked
     Channel<Credit> *creditIn_;
     std::size_t queueCapacityFlits_;
 
-    std::deque<Packet> queue_;
+    /** FIFO packet queue; the ring's capacity plateaus at the high-water
+     *  occupancy, so steady state enqueues never allocate. */
+    RingDeque<Packet> queue_;
     std::uint64_t queuedFlits_ = 0;
 
     std::vector<VcState> vcs_;

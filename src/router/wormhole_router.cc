@@ -16,6 +16,11 @@ WormholeRouter::WormholeRouter(NodeId id, const Mesh2D &mesh,
 
     inputVCs_.resize(kNumPorts * params.numVCs);
     outputVCs_.resize(kNumPorts * params.numVCs);
+    bufStore_.resize(inputVCs_.size() *
+                     static_cast<std::size_t>(params.vcDepthFlits));
+    for (std::size_t i = 0; i < inputVCs_.size(); ++i)
+        inputVCs_[i].base =
+            static_cast<std::uint32_t>(i * params.vcDepthFlits);
     for (auto &o : outputVCs_)
         o.credits = params.vcDepthFlits;
     for (auto &arb : inputArb_)
@@ -108,7 +113,7 @@ WormholeRouter::receiveFlits(Cycle now)
             if (wf->vc >= params_.numVCs)
                 panic("router %u: bad VC %u on port %zu", id_, wf->vc, p);
             InputVC &v = ivc(p, wf->vc);
-            if (v.buffer.size() >= params_.vcDepthFlits)
+            if (v.count >= params_.vcDepthFlits)
                 panic("router %u: input VC overflow port %zu vc %u "
                       "(credit protocol violated)", id_, p, wf->vc);
             // Flit arriving now may traverse the switch after the
@@ -116,8 +121,7 @@ WormholeRouter::receiveFlits(Cycle now)
             NOC_OBSERVE(observer_,
                         onFlitArrived(id_, static_cast<Port>(p),
                                       wf->flit, false, now));
-            v.buffer.emplace_back(wf->flit,
-                                  now + params_.routerStages - 1);
+            vcPush(v, wf->flit, now + params_.routerStages - 1);
         }
     }
 }
@@ -137,16 +141,16 @@ WormholeRouter::switchAllocAndTraverse(Cycle now)
         keys.assign(params_.numVCs, 0);
         for (std::uint32_t vc = 0; vc < params_.numVCs; ++vc) {
             const InputVC &v = ivc(p, vc);
-            if (v.state != VCState::Active || v.buffer.empty())
+            if (v.state != VCState::Active || v.count == 0)
                 continue;
-            if (v.buffer.front().readyAt > now)
+            if (vcFront(v).readyAt > now)
                 continue;
             const OutputVC &o =
                 outputVCs_[portIndex(v.outPort) * params_.numVCs + v.outVC];
             if (o.credits == 0)
                 continue;
             req[vc] = true;
-            keys[vc] = flitKey(v.buffer.front().flit);
+            keys[vc] = flitKey(vcFront(v).flit);
         }
         const std::size_t win = priority_
             ? inputArb_[p].arbitrate(req, keys)
@@ -172,7 +176,7 @@ WormholeRouter::switchAllocAndTraverse(Cycle now)
             if (portIndex(v.outPort) != outp)
                 continue;
             req[p] = true;
-            keys[p] = flitKey(v.buffer.front().flit);
+            keys[p] = flitKey(vcFront(v).flit);
         }
         const std::size_t win = priority_
             ? outputArb_[outp].arbitrate(req, keys)
@@ -182,8 +186,8 @@ WormholeRouter::switchAllocAndTraverse(Cycle now)
 
         InputVC &v = ivc(win, candidate[win]);
         OutputVC &o = ovc(outp, v.outVC);
-        const Flit flit = v.buffer.front().flit;
-        v.buffer.pop_front();
+        const Flit flit = vcFront(v).flit;
+        vcPop(v);
 
         out_[outp]->send(now, WireFlit{flit, v.outVC});
         NOC_OBSERVE(observer_,
@@ -228,8 +232,8 @@ WormholeRouter::vcAlloc(Cycle now)
                 }
                 const std::size_t idx = p * params_.numVCs + vc;
                 req[idx] = true;
-                keys[idx] = v.buffer.empty()
-                    ? 0 : flitKey(v.buffer.front().flit);
+                keys[idx] = v.count == 0
+                    ? 0 : flitKey(vcFront(v).flit);
                 any = true;
             }
         }
@@ -264,9 +268,9 @@ WormholeRouter::routeCompute(Cycle now)
     for (std::size_t p = 0; p < kNumPorts; ++p) {
         for (std::uint32_t vc = 0; vc < params_.numVCs; ++vc) {
             InputVC &v = ivc(p, vc);
-            if (v.state != VCState::Idle || v.buffer.empty())
+            if (v.state != VCState::Idle || v.count == 0)
                 continue;
-            const Flit &head = v.buffer.front().flit;
+            const Flit &head = vcFront(v).flit;
             if (!head.isHead())
                 panic("router %u: non-head flit at head of idle VC "
                       "(port %zu vc %u flow %u)", id_, p, vc, head.flow);
@@ -286,7 +290,7 @@ WormholeRouter::quiescent() const
             return false;
     }
     for (const InputVC &v : inputVCs_) {
-        if (v.state != VCState::Idle || !v.buffer.empty())
+        if (v.state != VCState::Idle || v.count != 0)
             return false;
     }
     return true;
@@ -297,7 +301,7 @@ WormholeRouter::bufferedFlits() const
 {
     std::uint64_t n = 0;
     for (const auto &v : inputVCs_)
-        n += v.buffer.size();
+        n += v.count;
     return n;
 }
 
@@ -313,16 +317,16 @@ WormholeRouter::debugDump() const
     for (std::size_t p = 0; p < kNumPorts; ++p) {
         for (std::uint32_t vc = 0; vc < params_.numVCs; ++vc) {
             const InputVC &v = ivc(p, vc);
-            if (v.state == VCState::Idle && v.buffer.empty())
+            if (v.state == VCState::Idle && v.count == 0)
                 continue;
             const char *st = v.state == VCState::Idle ? "Idle"
                 : v.state == VCState::VCWait ? "VCWait" : "Active";
             std::fprintf(stderr,
-                "  r%u in %s.%u st=%s buf=%zu out=%s.%u", id_,
-                portName(static_cast<Port>(p)), vc, st, v.buffer.size(),
+                "  r%u in %s.%u st=%s buf=%u out=%s.%u", id_,
+                portName(static_cast<Port>(p)), vc, st, v.count,
                 portName(v.outPort), v.outVC);
-            if (!v.buffer.empty()) {
-                const Flit &f = v.buffer.front().flit;
+            if (v.count != 0) {
+                const Flit &f = vcFront(v).flit;
                 std::fprintf(stderr, " head{flow %u frame %llu %s}",
                     f.flow, (unsigned long long)f.frame,
                     f.isTail() ? "tail" : f.isHead() ? "head" : "body");

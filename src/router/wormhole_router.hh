@@ -15,7 +15,6 @@
 #define NOC_ROUTER_WORMHOLE_ROUTER_HH
 
 #include <array>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -118,15 +117,26 @@ class WormholeRouter final : public Clocked
     struct TimedFlit
     {
         Flit flit;
-        Cycle readyAt;
+        Cycle readyAt = 0;
     };
 
+    /**
+     * One input VC. Its flit buffer is a fixed-capacity ring slice of
+     * the shared flat store (bufStore_): credits bound the occupancy to
+     * vcDepthFlits, so the slice can never overflow and the router
+     * performs no buffer allocation after construction.
+     */
     struct InputVC
     {
-        std::deque<TimedFlit> buffer;
         VCState state = VCState::Idle;
         Port outPort = Port::Local;
         std::uint32_t outVC = 0;
+        /** First slot of this VC's slice in bufStore_. */
+        std::uint32_t base = 0;
+        /** Ring cursor (offset of the head flit within the slice). */
+        std::uint32_t head = 0;
+        /** Buffered flit count. */
+        std::uint32_t count = 0;
     };
 
     struct OutputVC
@@ -151,6 +161,36 @@ class WormholeRouter final : public Clocked
     const InputVC &ivc(std::size_t port, std::uint32_t vc) const;
     OutputVC &ovc(std::size_t port, std::uint32_t vc);
 
+    /// @name Fixed-ring VC buffer primitives (over bufStore_).
+    /// @{
+    const TimedFlit &
+    vcFront(const InputVC &v) const
+    {
+        return bufStore_[v.base + v.head];
+    }
+
+    void
+    vcPush(InputVC &v, const Flit &f, Cycle ready_at)
+    {
+        std::uint32_t slot = v.head + v.count;
+        if (slot >= params_.vcDepthFlits)
+            slot -= params_.vcDepthFlits;
+        TimedFlit &t = bufStore_[v.base + slot];
+        t.flit = f;
+        t.readyAt = ready_at;
+        ++v.count;
+    }
+
+    void
+    vcPop(InputVC &v)
+    {
+        ++v.head;
+        if (v.head == params_.vcDepthFlits)
+            v.head = 0;
+        --v.count;
+    }
+    /// @}
+
     NodeId id_;
     const Mesh2D &mesh_;
     WormholeParams params_;
@@ -165,6 +205,9 @@ class WormholeRouter final : public Clocked
     std::vector<InputVC> inputVCs_;
     /** Output VC state, [port * numVCs + vc]. */
     std::vector<OutputVC> outputVCs_;
+    /** Flat VC buffer store, [(port * numVCs + vc) * vcDepthFlits +
+     *  slot]; sized once at construction (structure-of-arrays). */
+    std::vector<TimedFlit> bufStore_;
 
     /** Per-input-port VC selection for switch allocation. */
     std::array<RoundRobinArbiter, kNumPorts> inputArb_;

@@ -1,0 +1,241 @@
+#include "sim/alloc.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#ifdef __GLIBC__
+#include <execinfo.h>
+#include <unistd.h>
+#endif
+
+namespace
+{
+
+/**
+ * Relaxed is enough: consumers only ever difference the counter from
+ * one thread while no other simulation is mutating state (the delta is
+ * read between run() windows, outside any parallel region).
+ */
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<bool> g_trap{false};
+
+void
+noteAlloc()
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (g_trap.load(std::memory_order_relaxed)) {
+#ifdef __GLIBC__
+        void *frames[32];
+        const int n = backtrace(frames, 32);
+        static const char head[] = "--- heap allocation ---\n";
+        [[maybe_unused]] auto r = write(2, head, sizeof head - 1);
+        backtrace_symbols_fd(frames, n, 2);
+#endif
+    }
+}
+
+void *
+countedAlloc(std::size_t size)
+{
+    if (size == 0)
+        size = 1;
+    for (;;) {
+        void *p = std::malloc(size);
+        if (p) {
+            noteAlloc();
+            return p;
+        }
+        std::new_handler h = std::get_new_handler();
+        if (!h)
+            return nullptr;
+        h();
+    }
+}
+
+void *
+countedAllocAligned(std::size_t size, std::size_t align)
+{
+    if (size == 0)
+        size = align;
+    // aligned_alloc requires the size to be a multiple of alignment.
+    size = (size + align - 1) / align * align;
+    for (;;) {
+        void *p = std::aligned_alloc(align, size);
+        if (p) {
+            noteAlloc();
+            return p;
+        }
+        std::new_handler h = std::get_new_handler();
+        if (!h)
+            return nullptr;
+        h();
+    }
+}
+
+} // namespace
+
+namespace noc
+{
+
+std::uint64_t
+heapAllocCount()
+{
+    return g_allocs.load(std::memory_order_relaxed);
+}
+
+void
+setHeapAllocTrap(bool enabled)
+{
+#ifdef __GLIBC__
+    if (enabled) {
+        // backtrace() lazily loads libgcc on first use, which itself
+        // allocates; warm it up before arming the trap so the dump
+        // path is allocation-free (and cannot recurse into itself).
+        void *frames[2];
+        backtrace(frames, 2);
+    }
+#endif
+    g_trap.store(enabled, std::memory_order_relaxed);
+}
+
+} // namespace noc
+
+// Replacements for the global allocation functions ([new.delete]).
+// Every sized/array/aligned/nothrow variant funnels into the two
+// counted helpers above so no allocation escapes the census.
+
+void *
+operator new(std::size_t size)
+{
+    void *p = countedAlloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    void *p = countedAlloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = countedAllocAligned(size, static_cast<std::size_t>(align));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    void *p = countedAllocAligned(size, static_cast<std::size_t>(align));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    return countedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    return countedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t,
+                  const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * A size-bucketed object pool and a matching standard allocator.
+ *
+ * Node-based containers (std::map, std::unordered_map) allocate and
+ * free one node per element; for the simulator's per-quantum and
+ * per-packet bookkeeping that is steady heap churn. A Pool front-ends
+ * those allocations with power-of-two free lists carved from large
+ * chunks: the first wave of inserts faults in chunks (warm-up), after
+ * which every insert/erase pair recycles a node without touching the
+ * heap — the zero-allocation steady-state invariant (docs/SCALE.md).
+ *
+ * Chunks are only returned to the heap when the Pool is destroyed, so
+ * a Pool must outlive every container built on it: declare it as the
+ * FIRST member of the owning component. Pools are not thread-safe;
+ * each is owned by exactly one component, and a component is only ever
+ * ticked by the one worker that owns its spatial domain (phases are
+ * barrier-separated), which is the same single-writer discipline the
+ * rest of the component state relies on.
+ *
+ * PoolAlloc<T> with a null pool falls back to the global heap, so
+ * pool-aware types stay usable in unit tests without a Pool.
+ */
+
+#ifndef NOC_SIM_POOL_HH
+#define NOC_SIM_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+namespace noc
+{
+
+class Pool
+{
+  public:
+    Pool() = default;
+    Pool(const Pool &) = delete;
+    Pool &operator=(const Pool &) = delete;
+
+    ~Pool()
+    {
+        for (void *c : chunks_)
+            ::operator delete(c);
+    }
+
+    void *
+    allocate(std::size_t bytes)
+    {
+        const unsigned b = bucketOf(bytes);
+        if (b >= kBuckets)
+            return ::operator new(bytes);
+        FreeNode *&head = free_[b];
+        if (!head)
+            refill(b);
+        FreeNode *node = head;
+        head = node->next;
+        return node;
+    }
+
+    void
+    deallocate(void *p, std::size_t bytes)
+    {
+        const unsigned b = bucketOf(bytes);
+        if (b >= kBuckets) {
+            ::operator delete(p);
+            return;
+        }
+        auto *node = static_cast<FreeNode *>(p);
+        node->next = free_[b];
+        free_[b] = node;
+    }
+
+    /** Heap chunks faulted in so far (diagnostics). */
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+  private:
+    struct FreeNode
+    {
+        FreeNode *next;
+    };
+
+    /** Buckets: 16, 32, ... 2^20 bytes. Larger goes to the heap. */
+    static constexpr unsigned kMinShift = 4;
+    static constexpr unsigned kMaxShift = 20;
+    static constexpr unsigned kBuckets = kMaxShift - kMinShift + 1;
+
+    static unsigned
+    bucketOf(std::size_t bytes)
+    {
+        std::size_t sz = std::size_t{1} << kMinShift;
+        unsigned b = 0;
+        while (sz < bytes) {
+            sz <<= 1;
+            ++b;
+        }
+        return b;
+    }
+
+    void
+    refill(unsigned b)
+    {
+        const std::size_t block = std::size_t{1} << (b + kMinShift);
+        // At least a page worth of blocks per chunk, at most 64 blocks.
+        std::size_t n = 4096 / block;
+        if (n < 1)
+            n = 1;
+        if (n > 64)
+            n = 64;
+        auto *chunk =
+            static_cast<std::uint8_t *>(::operator new(n * block));
+        chunks_.push_back(chunk);
+        for (std::size_t i = 0; i < n; ++i) {
+            auto *node = reinterpret_cast<FreeNode *>(chunk + i * block);
+            node->next = free_[b];
+            free_[b] = node;
+        }
+    }
+
+    FreeNode *free_[kBuckets] = {};
+    std::vector<void *> chunks_;
+};
+
+/**
+ * Standard allocator over a Pool. Stateful: containers constructed
+ * with different pools compare unequal. Null pool = global heap.
+ * Alignment is capped at 16 bytes (the minimum bucket) — no pooled
+ * type in the simulator is over-aligned.
+ */
+template <typename T>
+struct PoolAlloc
+{
+    using value_type = T;
+    using propagate_on_container_copy_assignment = std::true_type;
+    using propagate_on_container_move_assignment = std::true_type;
+    using propagate_on_container_swap = std::true_type;
+
+    Pool *pool = nullptr;
+
+    PoolAlloc() = default;
+    explicit PoolAlloc(Pool *p) : pool(p) {}
+
+    template <typename U>
+    PoolAlloc(const PoolAlloc<U> &other) : pool(other.pool)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        static_assert(alignof(T) <= 16,
+                      "PoolAlloc: over-aligned types are not pooled");
+        if (pool)
+            return static_cast<T *>(pool->allocate(n * sizeof(T)));
+        return static_cast<T *>(::operator new(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        if (pool)
+            pool->deallocate(p, n * sizeof(T));
+        else
+            ::operator delete(p);
+    }
+
+    friend bool
+    operator==(const PoolAlloc &a, const PoolAlloc &b)
+    {
+        return a.pool == b.pool;
+    }
+};
+
+template <typename T>
+using PoolVec = std::vector<T, PoolAlloc<T>>;
+
+template <typename K, typename V, typename Cmp = std::less<K>>
+using PoolMap = std::map<K, V, Cmp, PoolAlloc<std::pair<const K, V>>>;
+
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
+using PoolUMap =
+    std::unordered_map<K, V, Hash, Eq, PoolAlloc<std::pair<const K, V>>>;
+
+} // namespace noc
+
+#endif // NOC_SIM_POOL_HH

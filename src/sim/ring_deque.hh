@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A growable power-of-two ring buffer with a deque-style interface.
+ *
+ * The per-cycle FIFOs of the simulator (channel in-flight queues,
+ * source/packet queues, VC buffers) previously used std::deque, whose
+ * libstdc++ implementation allocates and frees a 512-byte node as the
+ * FIFO advances — a heap allocation every few hundred operations,
+ * forever. RingDeque keeps one contiguous buffer whose capacity only
+ * ever grows (power-of-two, so index masking is a single AND); once a
+ * queue has seen its high-water mark the structure never allocates
+ * again, which is the plateau behaviour the zero-allocation
+ * steady-state invariant (docs/SCALE.md) is built on.
+ *
+ * T must be default-constructible and assignable (all queued payloads
+ * are aggregates of scalars). Iteration is by index: front() is
+ * operator[](0), back() is operator[](size()-1).
+ */
+
+#ifndef NOC_SIM_RING_DEQUE_HH
+#define NOC_SIM_RING_DEQUE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace noc
+{
+
+template <typename T>
+class RingDeque
+{
+  public:
+    RingDeque() = default;
+
+    explicit RingDeque(std::size_t capacity) { reserve(capacity); }
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return data_.size(); }
+
+    T &
+    operator[](std::size_t i)
+    {
+        return data_[(head_ + i) & mask_];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return data_[(head_ + i) & mask_];
+    }
+
+    T &front() { return data_[head_]; }
+    const T &front() const { return data_[head_]; }
+    T &back() { return (*this)[count_ - 1]; }
+    const T &back() const { return (*this)[count_ - 1]; }
+
+    void
+    push_back(const T &value)
+    {
+        if (count_ == data_.size())
+            grow();
+        data_[(head_ + count_) & mask_] = value;
+        ++count_;
+    }
+
+    void
+    push_back(T &&value)
+    {
+        if (count_ == data_.size())
+            grow();
+        data_[(head_ + count_) & mask_] = std::move(value);
+        ++count_;
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (count_ == data_.size())
+            grow();
+        T &slot = data_[(head_ + count_) & mask_];
+        slot = T{std::forward<Args>(args)...};
+        ++count_;
+        return slot;
+    }
+
+    void
+    pop_front()
+    {
+        front() = T{}; // drop payload-held resources eagerly
+        head_ = (head_ + 1) & mask_;
+        --count_;
+    }
+
+    void
+    clear()
+    {
+        while (count_)
+            pop_front();
+        head_ = 0;
+    }
+
+    /**
+     * Insert @p value so it becomes element @p index, shifting the
+     * elements at and after it one slot towards the back. O(size);
+     * used only on cold paths (late re-delivery in the audit build).
+     */
+    void
+    insertAt(std::size_t index, T value)
+    {
+        if (count_ == data_.size())
+            grow();
+        ++count_;
+        for (std::size_t i = count_ - 1; i > index; --i)
+            (*this)[i] = std::move((*this)[i - 1]);
+        (*this)[index] = std::move(value);
+    }
+
+    /** Grow capacity to the smallest power of two >= @p n. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n <= data_.size())
+            return;
+        std::size_t cap = 1;
+        while (cap < n)
+            cap <<= 1;
+        rebuffer(cap);
+    }
+
+  private:
+    void grow() { rebuffer(data_.empty() ? 8 : data_.size() * 2); }
+
+    void
+    rebuffer(std::size_t cap)
+    {
+        std::vector<T> fresh(cap);
+        for (std::size_t i = 0; i < count_; ++i)
+            fresh[i] = std::move((*this)[i]);
+        data_ = std::move(fresh);
+        head_ = 0;
+        mask_ = cap - 1;
+    }
+
+    std::vector<T> data_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::size_t mask_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_SIM_RING_DEQUE_HH

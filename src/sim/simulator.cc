@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "sim/alloc.hh"
 #include "sim/logging.hh"
 
 namespace noc
@@ -171,6 +172,12 @@ Simulator::preparePlan()
     plan.domains.resize(workers_);
     plan.counters.resize(workers_);
     plan.dirty.resize(static_cast<std::size_t>(workers_) + 1);
+    // A dirty list holds each traffic-carrying channel at most once
+    // per cycle, so the registered port count is a hard bound. The
+    // reserve keeps list growth out of the steady state (a cycle that
+    // touches more channels than any before it must not allocate).
+    for (std::vector<PendingPort *> &list : plan.dirty)
+        list.reserve(ports_.size());
     for (std::size_t i = plan.prologueEnd; i < plan.epilogueBegin; ++i) {
         const std::uint64_t d =
             static_cast<std::uint64_t>(components_[i].key) * workers_ /
@@ -371,20 +378,24 @@ void
 Simulator::run(Cycle cycles)
 {
     const Cycle end = runEnd(cycles);
+    const std::uint64_t allocs0 = heapAllocCount();
     if (beginParallelWindow()) {
         while (now_ < end)
             stepParallel();
         endParallelWindow();
+        lastRunAllocs_ = heapAllocCount() - allocs0;
         return;
     }
     while (now_ < end)
         step();
+    lastRunAllocs_ = heapAllocCount() - allocs0;
 }
 
 bool
 Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles)
 {
     const Cycle end = runEnd(max_cycles);
+    const std::uint64_t allocs0 = heapAllocCount();
     if (beginParallelWindow()) {
         bool fired = false;
         while (now_ < end) {
@@ -395,13 +406,17 @@ Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles)
             stepParallel();
         }
         endParallelWindow();
+        lastRunAllocs_ = heapAllocCount() - allocs0;
         return fired || done();
     }
     while (now_ < end) {
-        if (done())
+        if (done()) {
+            lastRunAllocs_ = heapAllocCount() - allocs0;
             return true;
+        }
         step();
     }
+    lastRunAllocs_ = heapAllocCount() - allocs0;
     return done();
 }
 

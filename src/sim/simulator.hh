@@ -124,6 +124,16 @@ class Simulator
     std::uint64_t ticksSkipped() const { return ticksSkipped_; }
     /// @}
 
+    /**
+     * Heap allocations observed during the most recent run() /
+     * runUntil() window (global operator-new census, sim/alloc.hh).
+     * After warm-up this must be zero — the zero-allocation
+     * steady-state invariant (docs/SCALE.md). Meaningful only when a
+     * single simulation is in flight; a threaded sweep interleaves
+     * counts from sibling cases.
+     */
+    std::uint64_t lastRunHeapAllocs() const { return lastRunAllocs_; }
+
   private:
     struct Entry
     {
@@ -168,6 +178,7 @@ class Simulator
     Cycle now_ = 0;
     std::uint64_t ticksExecuted_ = 0;
     std::uint64_t ticksSkipped_ = 0;
+    std::uint64_t lastRunAllocs_ = 0;
 };
 
 } // namespace noc

@@ -10,11 +10,11 @@
 #ifndef NOC_TRAFFIC_GENERATOR_HH
 #define NOC_TRAFFIC_GENERATOR_HH
 
-#include <deque>
 #include <vector>
 
 #include "net/network.hh"
 #include "sim/clocked.hh"
+#include "sim/ring_deque.hh"
 #include "sim/rng.hh"
 
 namespace noc
@@ -75,7 +75,8 @@ class TrafficGenerator final : public Clocked
         FlowSpec spec;
         FlowRate rate;
         double accumulator = 0.0;
-        std::deque<Packet> pending;
+        /** Backlog ring; capacity plateaus at the high-water mark. */
+        RingDeque<Packet> pending;
     };
 
     Packet makePacket(FlowState &fs, Cycle now);

@@ -7,6 +7,11 @@
  * partitioned runs must not grow resident memory — the domain buffers
  * (pending channel slots, deferred observer events, deferred metric
  * samples) are drained every cycle and reused, never accreted.
+ *
+ * The ScaleSoak suite scales the discipline up: a 32x32 mesh (LOFT and
+ * wormhole) must run its whole measurement window with a heap
+ * allocation count of exactly zero (docs/SCALE.md) and a flat resident
+ * set across repeated runs.
  */
 
 #include <gtest/gtest.h>
@@ -127,6 +132,67 @@ TEST(ParallelSoak, RepeatedPartitionedRunsKeepMemoryFlat)
         << "resident set grew " << (after - baseline)
         << " bytes across one partitioned run";
 #endif
+}
+
+// ---- ScaleSoak: 32x32, zero allocations and flat memory -------------
+
+RunConfig
+scaleSoakConfig(NetKind kind)
+{
+    RunConfig c;
+    c.kind = kind;
+    c.meshWidth = 32;
+    c.meshHeight = 32;
+    // Warm-up is the allocation ramp (pool spawn, ring and buffer
+    // high-water growth); the measurement window then runs with the
+    // census asserting an exact zero.
+    c.warmupCycles = 4000;
+    c.measureCycles = soakCycles();
+    c.audit = false;
+    c.intraRunWorkers = 2;
+    c.loft.frameSizeFlits = 256;
+    c.loft.centralBufferFlits = 256;
+    c.loft.specBufferFlits = 16;
+    c.loft.maxFlows = 64;
+    c.loft.sourceQueueFlits = 64;
+    return c;
+}
+
+void
+expectFlatScaleSoak(NetKind kind)
+{
+    const RunConfig cfg = scaleSoakConfig(kind);
+    Mesh2D mesh(cfg.meshWidth, cfg.meshHeight);
+    TrafficPattern pattern = neighborPattern(mesh);
+    setEqualSharesByMaxFlows(pattern.flows, cfg.loft.maxFlows);
+
+    const RunResult first = runExperiment(cfg, pattern, 0.05);
+    ASSERT_GT(first.totalPackets, 0u);
+    EXPECT_EQ(first.steadyStateHeapAllocs, 0u)
+        << "32x32 measurement window allocated on the heap";
+
+#ifdef __linux__
+    // A second full run re-pays only per-run state (network, pools);
+    // the resident set must not creep across runs.
+    const std::size_t baseline = residentBytes();
+    const RunResult second = runExperiment(cfg, pattern, 0.05);
+    EXPECT_EQ(second.steadyStateHeapAllocs, 0u);
+    const std::size_t after = residentBytes();
+    constexpr std::size_t kBudget = 64u << 20;
+    EXPECT_LT(after, baseline + kBudget)
+        << "resident set grew " << (after - baseline)
+        << " bytes across one 32x32 run";
+#endif
+}
+
+TEST(ScaleSoak, Loft32x32MeasureWindowIsAllocationFree)
+{
+    expectFlatScaleSoak(NetKind::Loft);
+}
+
+TEST(ScaleSoak, Wormhole32x32MeasureWindowIsAllocationFree)
+{
+    expectFlatScaleSoak(NetKind::Wormhole);
 }
 
 } // namespace

@@ -89,5 +89,35 @@ TEST(Topology, ZeroSizeRejected)
     EXPECT_EXIT(Mesh2D(0, 4), ::testing::ExitedWithCode(1), "positive");
 }
 
+TEST(Topology, LargeMesh64x64)
+{
+    // 4096 nodes: ids, coordinates and routing must hold at the
+    // largest supported scale (bench_scale's top size) without any
+    // narrow-integer truncation.
+    Mesh2D m(64, 64);
+    EXPECT_EQ(m.numNodes(), 4096u);
+    EXPECT_EQ(m.nodeAt(0, 0), 0u);
+    EXPECT_EQ(m.nodeAt(63, 0), 63u);
+    EXPECT_EQ(m.nodeAt(0, 63), 4032u);
+    EXPECT_EQ(m.nodeAt(63, 63), 4095u);
+    EXPECT_EQ(m.xOf(4095), 63u);
+    EXPECT_EQ(m.yOf(4095), 63u);
+    EXPECT_EQ(m.xOf(4032), 0u);
+    EXPECT_EQ(m.yOf(4032), 63u);
+    EXPECT_EQ(m.hopDistance(0, 4095), 126u);
+    EXPECT_EQ(m.hopDistance(4095, 0), 126u);
+
+    // Corner adjacency, and id/coordinate round trip on a sample
+    // (every 97th node covers all rows and columns).
+    EXPECT_FALSE(m.hasNeighbor(4095, Port::East));
+    EXPECT_FALSE(m.hasNeighbor(4095, Port::North));
+    EXPECT_EQ(m.neighbor(4095, Port::West), 4094u);
+    EXPECT_EQ(m.neighbor(4095, Port::South), 4031u);
+    for (NodeId n = 0; n < m.numNodes(); n += 97) {
+        EXPECT_EQ(m.nodeAt(m.xOf(n), m.yOf(n)), n);
+        EXPECT_EQ(m.hopDistance(n, m.nearestNeighbor(n)), 1u);
+    }
+}
+
 } // namespace
 } // namespace noc

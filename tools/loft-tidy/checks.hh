@@ -1,6 +1,6 @@
 /**
  * @file
- * The four LOFT protocol-invariant checks and their shared scaffolding.
+ * The five LOFT protocol-invariant checks and their shared scaffolding.
  *
  * Each check mirrors the clang-tidy check of the same name described in
  * docs/LINT.md and emits clang-tidy-compatible diagnostics
@@ -19,7 +19,11 @@
  *   - `loft-tidy: hook-ignored(onFoo)`      conscious waiver of one
  *     hook on a complete-observer class;
  *   - `loft-tidy: clocked-base`             intentional non-final
- *     intermediate Clocked base class.
+ *     intermediate Clocked base class;
+ *   - `loft-tidy: steady-state-hot`         function runs every cycle
+ *     in the measurement window and must not heap-allocate;
+ *   - `loft-tidy: pooled(reason)`           a flagged line inside a
+ *     hot function whose target capacity is pooled/reserved.
  */
 
 #ifndef LOFT_TIDY_CHECKS_HH
@@ -84,6 +88,8 @@ inline constexpr char kCheckRngDiscipline[] =
     "loft-rng-stream-discipline";
 inline constexpr char kCheckClockedComponent[] =
     "loft-clocked-component";
+inline constexpr char kCheckSteadyStateAlloc[] =
+    "loft-steady-state-alloc";
 
 void checkUnorderedIteration(const Context &ctx,
                              std::vector<Diagnostic> &out);
@@ -92,6 +98,8 @@ void checkObserverParity(const Context &ctx,
 void checkRngDiscipline(const Context &ctx,
                         std::vector<Diagnostic> &out);
 void checkClockedComponent(const Context &ctx,
+                           std::vector<Diagnostic> &out);
+void checkSteadyStateAlloc(const Context &ctx,
                            std::vector<Diagnostic> &out);
 
 // ---------------------------------------------------------------------

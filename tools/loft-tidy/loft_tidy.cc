@@ -2,7 +2,7 @@
  * @file
  * loft-tidy driver.
  *
- * Runs the four LOFT protocol-invariant checks (see checks.hh and
+ * Runs the five LOFT protocol-invariant checks (see checks.hh and
  * docs/LINT.md) over a set of source files and prints clang-tidy
  * compatible diagnostics:
  *
@@ -57,6 +57,7 @@ const char *const kAllChecks[] = {
     kCheckObserverParity,
     kCheckRngDiscipline,
     kCheckClockedComponent,
+    kCheckSteadyStateAlloc,
 };
 
 void
@@ -306,6 +307,8 @@ main(int argc, char **argv)
         checkRngDiscipline(ctx, diags);
     if (enabled(kCheckClockedComponent))
         checkClockedComponent(ctx, diags);
+    if (enabled(kCheckSteadyStateAlloc))
+        checkSteadyStateAlloc(ctx, diags);
 
     std::sort(diags.begin(), diags.end());
     diags.erase(std::unique(diags.begin(), diags.end(),

@@ -1,0 +1,38 @@
+// Known-bad fixture for loft-steady-state-alloc.
+//
+// A function annotated `loft-tidy: steady-state-hot` runs every cycle
+// of the measurement window, which must be allocation-free (the
+// census in sim/alloc.cc gates on an exact zero). Naked growth calls
+// and `new` expressions inside it must be flagged unless the line
+// carries a `loft-tidy: pooled(...)` claim or a NOLINT.
+//
+// Expected: four diagnostics, one per construct below.
+
+struct Flit
+{
+    unsigned id = 0;
+};
+
+template <typename T>
+struct Queue
+{
+    void push_back(const T &);
+    void emplace_back(unsigned);
+    void emplace(unsigned, const T &);
+};
+
+struct OutputStage
+{
+    Queue<Flit> queue_;
+    Flit *scratch_ = nullptr;
+
+    // loft-tidy: steady-state-hot
+    void
+    routeOne(const Flit &f)
+    {
+        queue_.push_back(f);      // flagged: may grow
+        queue_.emplace_back(f.id); // flagged: may grow
+        queue_.emplace(0, f);     // flagged: may grow
+        scratch_ = new Flit(f);   // flagged: heap allocation
+    }
+};

@@ -1,0 +1,49 @@
+// Known-good fixture for loft-steady-state-alloc.
+//
+// Growth calls inside a steady-state-hot function are accepted when
+// the line documents where its capacity comes from with
+// `loft-tidy: pooled(...)` (or a conventional NOLINT), and functions
+// without the hot annotation are free to allocate: the check guards
+// declared per-cycle paths, not the whole file.
+//
+// Expected: the check stays silent.
+
+struct Flit
+{
+    unsigned id = 0;
+};
+
+template <typename T>
+struct Ring
+{
+    void reserve(unsigned long);
+    void push_back(const T &);
+    void emplace_back(unsigned);
+};
+
+struct OutputStage
+{
+    Ring<Flit> queue_;
+
+    void
+    setup()
+    {
+        // Not annotated hot: construction-time growth is the point.
+        queue_.reserve(64);
+        queue_.push_back({});
+    }
+
+    // loft-tidy: steady-state-hot
+    void
+    routeOne(const Flit &f)
+    {
+        // loft-tidy: pooled(ring capacity reserved in setup())
+        queue_.push_back(f);
+        queue_.emplace_back(f.id); // loft-tidy: pooled(same ring)
+    }
+
+    void tickCold(const Flit &f) // loft-tidy: steady-state-hot
+    {
+        queue_.push_back(f); // NOLINT(loft-steady-state-alloc) lazy one-shot init
+    }
+};
