@@ -2,7 +2,7 @@
 # Repo-wide determinism & protocol-invariant lint gate (docs/LINT.md).
 #
 # Builds the loft-tidy engine (unless LOFT_TIDY_BIN points at one),
-# runs its five custom checks over every .cc/.hh under src/, and fails
+# runs its custom checks over every .cc/.hh under src/, and fails
 # if any diagnostic is not covered by tools/loft-tidy/baseline.txt.
 # Baseline entries that no longer fire are reported so the baseline
 # only ever shrinks.
@@ -57,9 +57,14 @@ if [[ ${#FILES[@]} -eq 0 ]]; then
 fi
 
 # The engine exits 1 when it emits diagnostics; the gate's verdict is
-# the baseline diff, so tolerate that exit code here.
-"$LOFT_TIDY_BIN" "${ARGS[@]}" "${FILES[@]}" \
+# the baseline diff, so tolerate that exit code here. --time-report
+# surfaces the per-check/parse split on stderr, and the shell-level
+# stopwatch around the engine run feeds the summary line so wall-time
+# regressions in the gate itself are visible in every CI log.
+T_ENGINE_START="$(date +%s%N)"
+"$LOFT_TIDY_BIN" "${ARGS[@]}" --time-report "${FILES[@]}" \
     > "$TMPDIR_LINT/raw.txt" || true
+T_ENGINE_MS="$(( ($(date +%s%N) - T_ENGINE_START) / 1000000 ))"
 sort -u "$TMPDIR_LINT/raw.txt" > "$TMPDIR_LINT/current.txt"
 
 # Baseline format: one diagnostic line per entry; blank lines and
@@ -102,4 +107,4 @@ fi
 
 COUNT="$(wc -l < "$TMPDIR_LINT/current.txt")"
 echo "run_lint.sh: clean (${COUNT} diagnostics, all baselined;" \
-     "${#FILES[@]} files)"
+     "${#FILES[@]} files; engine ${T_ENGINE_MS} ms wall)"

@@ -64,6 +64,9 @@ namespace noc
 // loft-tidy: hook-ignored(onSourceThrottled)    — source back-pressure
 //     is a performance event; liveness is watched through the flit
 //     movement hooks the watchdog already consumes.
+// loft-tidy: phase-serial — keyless: ticked in the serial epilogue and
+//     fed through the DeferredObserver merge, never inside the
+//     partitioned phase.
 class NetworkAuditor final : public NetObserver, public Clocked
 {
   public:

@@ -509,7 +509,6 @@ LoftDataRouter::recoverLostLookaheads(Cycle now)
         recoveryScratch_.clear();
         // Key-collection only; the sort below erases the hash order
         // before anything observable happens.
-        // NOLINTNEXTLINE(loft-unordered-iteration-escape)
         for (const auto &[key, u] : ip.unclaimed)
             if (now >= u.nextReissueAt && !u.flits.empty())
                 recoveryScratch_.push_back(key);
@@ -592,7 +591,6 @@ LoftDataRouter::scrubStaleRecords(Cycle now)
             continue;
         recoveryScratch_.clear();
         // Key-collection only; sorted before any mutation below.
-        // NOLINTNEXTLINE(loft-unordered-iteration-escape)
         for (const auto &[key, rec] : ip.records) {
             if (!rec.scheduled || !rec.buffered.empty())
                 continue;

@@ -385,6 +385,7 @@ class LoftDataRouter final : public Clocked
     std::uint64_t duplicateLookaheads_ = 0;
     std::uint64_t creditsDiscarded_ = 0;
     Cycle nextScrubAt_ = 0;
+    // loft-tidy: deferred-endpoint(DeferredObserver)
     NetObserver *observer_ = nullptr;
 };
 

@@ -63,10 +63,12 @@ class LoftSink final : public Clocked
     Channel<DataWireFlit> *in_;
     Channel<ActualCreditMsg> *actualCreditOut_;
     Channel<VirtualCreditMsg> *virtualCreditOut_;
+    // loft-tidy: deferred-endpoint(MetricsCollector::mergeDomains)
     MetricsCollector *metrics_;
     PoolUMap<PacketId, std::uint32_t> pending_;
     std::uint64_t flitsEjected_ = 0;
     std::uint64_t corruptedDeliveries_ = 0;
+    // loft-tidy: deferred-endpoint(DeferredObserver)
     NetObserver *observer_ = nullptr;
 };
 

@@ -161,6 +161,7 @@ class LoftSourceUnit final : public Clocked
     std::uint64_t creditsDiscarded_ = 0;
     Cycle lastForward_ = 0;
     std::size_t queueCapacityFlits_;
+    // loft-tidy: deferred-endpoint(DeferredObserver)
     NetObserver *observer_ = nullptr;
 };
 

@@ -134,6 +134,7 @@ class LookaheadRouter final : public Clocked
     std::uint64_t retries_ = 0;
     std::uint64_t creditsDiscarded_ = 0;
     std::uint64_t lookaheadsLost_ = 0;
+    // loft-tidy: deferred-endpoint(DeferredObserver)
     NetObserver *observer_ = nullptr;
 };
 

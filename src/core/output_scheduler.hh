@@ -41,6 +41,10 @@ struct SlotBooking
     std::uint64_t quantumNo = 0;
 };
 
+// loft-tidy: phase-pure — not Clocked itself, but every method runs
+//     inside LoftDataRouter::tick and so inside the partitioned phase;
+//     writes must stay within the owning router's component state or
+//     go through a deferred seam.
 class OutputScheduler
 {
   public:
@@ -233,6 +237,7 @@ class OutputScheduler
     Slot lastBookedAbs_ = 0;
     bool dirty_ = false;
     Cycle lastAdvance_ = 0;
+    // loft-tidy: deferred-endpoint(DeferredObserver)
     NetObserver *observer_ = nullptr;
 };
 

@@ -2,6 +2,7 @@
 
 #include "sim/debug.hh"
 #include "sim/logging.hh"
+#include "sim/phase_sanitizer.hh"
 
 namespace noc
 {
@@ -23,10 +24,12 @@ GsfBarrier::onPacketAdmitted(std::uint64_t frame, std::uint32_t flits)
 {
     const int d = par::currentDomain();
     if (d >= 0 && !deferred_.empty()) {
+        LOFT_PSAN_DEFERRED_BUFFER("GsfBarrier::onPacketAdmitted");
         deferred_[static_cast<std::size_t>(d)].push_back(
             {frame, flits, true});
         return;
     }
+    LOFT_PSAN_DIRECT_DELIVERY("GsfBarrier::onPacketAdmitted");
     admitNow(frame, flits);
 }
 
@@ -35,10 +38,12 @@ GsfBarrier::onFlitEjected(std::uint64_t frame)
 {
     const int d = par::currentDomain();
     if (d >= 0 && !deferred_.empty()) {
+        LOFT_PSAN_DEFERRED_BUFFER("GsfBarrier::onFlitEjected");
         deferred_[static_cast<std::size_t>(d)].push_back(
             {frame, 0, false});
         return;
     }
+    LOFT_PSAN_DIRECT_DELIVERY("GsfBarrier::onFlitEjected");
     ejectNow(frame);
 }
 
@@ -69,6 +74,7 @@ GsfBarrier::ejectNow(std::uint64_t frame)
 void
 GsfBarrier::beginParallel(unsigned domains)
 {
+    LOFT_PSAN_BARRIER_SEAM("GsfBarrier::beginParallel");
     // Grow-only, like MetricsCollector::beginParallel: buffer capacity
     // survives across run windows so the measurement window never pays
     // for first-time growth.
@@ -84,6 +90,7 @@ GsfBarrier::beginParallel(unsigned domains)
 void
 GsfBarrier::mergeDomains()
 {
+    LOFT_PSAN_BARRIER_SEAM("GsfBarrier::mergeDomains");
     // Commutative counter updates: domain order is as good as the
     // serial interleaving. Ejections can only drain flits admitted in
     // earlier cycles (channel latency >= 1), so replaying a domain's
@@ -103,6 +110,7 @@ GsfBarrier::mergeDomains()
 void
 GsfBarrier::endParallel()
 {
+    LOFT_PSAN_BARRIER_SEAM("GsfBarrier::endParallel");
     for (std::vector<FrameEvent> &buf : deferred_)
         buf.clear();
 }

@@ -35,6 +35,8 @@ namespace noc
  * and the admission-range/underflow panics fire under exactly the same
  * conditions.
  */
+// loft-tidy: phase-serial — keyless: ticked in the serial epilogue
+//     after mergeDomains() has replayed the per-domain frame events.
 class GsfBarrier final : public Clocked, public DomainMerged
 {
   public:

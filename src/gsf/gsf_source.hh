@@ -40,6 +40,7 @@ class GsfSourceUnit final : public SourceUnit
         std::uint32_t quota = 0;
     };
 
+    // loft-tidy: deferred-endpoint(GsfBarrier::mergeDomains)
     GsfBarrier *barrier_;
     std::unordered_map<FlowId, FlowInjectState> flows_;
 };

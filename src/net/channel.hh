@@ -30,6 +30,7 @@
 #include "net/instrument.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
+#include "sim/phase_sanitizer.hh"
 #include "sim/ring_deque.hh"
 #include "sim/types.hh"
 
@@ -98,6 +99,7 @@ class Channel : public PendingPort
             // the cycle barrier. Register in the thread's dirty list on
             // the first pending send so the flush walks only channels
             // that carried traffic this cycle.
+            LOFT_PSAN_CHANNEL_SEND(psan_);
             std::vector<PendingPort *> *dirty = par::ctx().dirty;
             if (!dirty)
                 panic("Channel::send in concurrent mode outside a "
@@ -139,6 +141,7 @@ class Channel : public PendingPort
     {
         if (!ready(now))
             panic("Channel::receive with nothing deliverable");
+        LOFT_PSAN_CHANNEL_RECEIVE(psan_);
         T v = std::move(inFlight_.front().second);
         inFlight_.pop_front();
         return v;
@@ -168,6 +171,8 @@ class Channel : public PendingPort
     {
         if (!pending_.empty())
             panic("Channel::setConcurrent with unflushed pending sends");
+        LOFT_PSAN_BARRIER_SEAM("Channel::setConcurrent");
+        LOFT_PSAN_PORT_RESET(psan_);
 #if LOFT_AUDIT_ENABLED
         // Fault hooks mutate channel state on the send path and may
         // re-deliver out of band (deliverAt), neither of which is
@@ -188,6 +193,7 @@ class Channel : public PendingPort
     void
     flushPending() override
     {
+        LOFT_PSAN_BARRIER_SEAM("Channel::flushPending");
         // Same-latency sends deliver in send order, and everything
         // already in flight was sent in an earlier cycle, so appending
         // keeps the queue sorted by delivery time.
@@ -246,6 +252,8 @@ class Channel : public PendingPort
     bool concurrent_ = false;
 #if LOFT_AUDIT_ENABLED
     ChannelFaultHook<T> *faults_ = nullptr;
+    /** Phase-sanitizer scratch (sim/phase_sanitizer.hh). */
+    psan::PortState psan_;
 #endif
 };
 

@@ -1,6 +1,7 @@
 #include "net/deferred_observer.hh"
 
 #include "sim/logging.hh"
+#include "sim/phase_sanitizer.hh"
 
 namespace noc
 {
@@ -15,6 +16,7 @@ DeferredObserver::DeferredObserver(NetObserver *downstream)
 void
 DeferredObserver::beginParallel(unsigned domains)
 {
+    LOFT_PSAN_BARRIER_SEAM("DeferredObserver::beginParallel");
     // Grow-only so event-buffer capacity carries across run windows
     // (the guard in push() requires currentDomain() >= 0, so keeping
     // the buffers alive between windows never diverts a direct event).
@@ -25,6 +27,7 @@ DeferredObserver::beginParallel(unsigned domains)
 void
 DeferredObserver::mergeDomains()
 {
+    LOFT_PSAN_BARRIER_SEAM("DeferredObserver::mergeDomains");
     // k-way merge by component index. Each per-domain buffer is sorted
     // by construction (components run in registration order within
     // their domain) and the index sets are disjoint across domains, so
@@ -60,6 +63,7 @@ DeferredObserver::mergeDomains()
 void
 DeferredObserver::endParallel()
 {
+    LOFT_PSAN_BARRIER_SEAM("DeferredObserver::endParallel");
     for (std::vector<DeferredNetEvent> &buf : perDomain_)
         buf.clear();
 }
@@ -69,9 +73,11 @@ DeferredObserver::push(DeferredNetEvent &&e)
 {
     const int d = par::currentDomain();
     if (d < 0 || perDomain_.empty()) {
+        LOFT_PSAN_DIRECT_DELIVERY("DeferredObserver::push");
         deliver(e);
         return;
     }
+    LOFT_PSAN_DEFERRED_BUFFER("DeferredObserver::push");
     e.component = par::ctx().component;
     perDomain_[static_cast<std::size_t>(d)].push_back(std::move(e));
 }

@@ -147,6 +147,9 @@ class DeferredObserver final : public NetObserver, public DomainMerged
     /** Dispatch @p e to the downstream sink. */
     void deliver(const DeferredNetEvent &e);
 
+    // loft-tidy: phase-shared(barrier) — only mergeDomains() (main
+    //     thread, cycle barrier) and direct-mode push() dereference it;
+    //     partitioned-phase callers only append to their domain buffer.
     NetObserver *downstream_;
     std::vector<std::vector<DeferredNetEvent>> perDomain_;
     std::vector<std::size_t> cursors_;

@@ -1,6 +1,7 @@
 #include "net/metrics.hh"
 
 #include "sim/logging.hh"
+#include "sim/phase_sanitizer.hh"
 
 namespace noc
 {
@@ -43,11 +44,13 @@ MetricsCollector::onFlitEjected(FlowId flow)
 {
     const int d = par::currentDomain();
     if (d >= 0 && !deferred_.empty()) {
+        LOFT_PSAN_DEFERRED_BUFFER("MetricsCollector::onFlitEjected");
         // loft-tidy: pooled(setDeferredReserve sizes each buffer)
         deferred_[static_cast<std::size_t>(d)].push_back(
             {flow, 0, 0, false});
         return;
     }
+    LOFT_PSAN_DIRECT_DELIVERY("MetricsCollector::onFlitEjected");
     if (!measuring_)
         return;
     if (flow >= flows_.size())
@@ -62,11 +65,13 @@ MetricsCollector::onPacketEjected(FlowId flow, Cycle created_at, Cycle now)
 {
     const int d = par::currentDomain();
     if (d >= 0 && !deferred_.empty()) {
+        LOFT_PSAN_DEFERRED_BUFFER("MetricsCollector::onPacketEjected");
         // loft-tidy: pooled(setDeferredReserve sizes each buffer)
         deferred_[static_cast<std::size_t>(d)].push_back(
             {flow, created_at, now, true});
         return;
     }
+    LOFT_PSAN_DIRECT_DELIVERY("MetricsCollector::onPacketEjected");
     if (!measuring_)
         return;
     if (flow >= flows_.size())
@@ -83,6 +88,7 @@ MetricsCollector::onPacketEjected(FlowId flow, Cycle created_at, Cycle now)
 void
 MetricsCollector::beginParallel(unsigned domains)
 {
+    LOFT_PSAN_BARRIER_SEAM("MetricsCollector::beginParallel");
     // Grow-only: per-domain buffer capacity survives across run
     // windows, so the warm-up window's growth pays for the
     // measurement window. The hook guard requires currentDomain() >= 0,
@@ -100,6 +106,7 @@ MetricsCollector::beginParallel(unsigned domains)
 void
 MetricsCollector::mergeDomains()
 {
+    LOFT_PSAN_BARRIER_SEAM("MetricsCollector::mergeDomains");
     // Replay in domain order; see the class comment for why this is
     // exactly the serial sample order. The replay runs on the main
     // thread outside any domain, so the hooks take their direct path.
@@ -117,6 +124,7 @@ MetricsCollector::mergeDomains()
 void
 MetricsCollector::endParallel()
 {
+    LOFT_PSAN_BARRIER_SEAM("MetricsCollector::endParallel");
     for (std::vector<DeferredSample> &buf : deferred_)
         buf.clear();
 }

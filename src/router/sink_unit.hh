@@ -61,12 +61,14 @@ class SinkUnit final : public Clocked
     Pool pool_;
     Channel<WireFlit> *in_;
     Channel<Credit> *creditReturn_;
+    // loft-tidy: deferred-endpoint(MetricsCollector::mergeDomains)
     MetricsCollector *metrics_;
     std::function<void(const Flit &, Cycle)> onEject_;
     /** Received flit count per partially received packet. */
     PoolUMap<PacketId, std::uint32_t> pending_;
     std::uint64_t flitsEjected_ = 0;
     std::uint64_t corruptedDeliveries_ = 0;
+    // loft-tidy: deferred-endpoint(DeferredObserver)
     NetObserver *observer_ = nullptr;
 };
 

@@ -124,6 +124,7 @@ class SourceUnit : public Clocked
     std::uint64_t nextFlitNo_ = 0;
 
   protected:
+    // loft-tidy: deferred-endpoint(DeferredObserver)
     NetObserver *observer_ = nullptr;
 };
 

@@ -220,6 +220,7 @@ class WormholeRouter final : public Clocked
     std::vector<bool> reqScratch_;
     std::vector<std::uint64_t> keyScratch_;
 
+    // loft-tidy: deferred-endpoint(DeferredObserver)
     NetObserver *observer_ = nullptr;
 };
 

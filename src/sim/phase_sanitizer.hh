@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Runtime phase sanitizer for the partitioned simulator.
+ *
+ * The three-phase contract (docs/PARALLEL.md, "Concurrency contract")
+ * says that during the partitioned phase of a cycle a component may
+ * only write state reachable from itself and communicate through the
+ * deferred seams — Channel send/credit paths, per-domain DomainMerged
+ * buffers — while the barrier-owned operations (flushPending,
+ * mergeDomains, begin/endParallel, setConcurrent) run single-threaded
+ * at the per-cycle barrier. loft-tidy enforces that contract statically
+ * (`loft-phase-discipline`, `loft-cross-domain-channel`); this sanitizer
+ * enforces it dynamically under test.
+ *
+ * The Simulator stamps the current (phase, cycle) into a thread-local,
+ * and cheap assertion shims at the deferred seams abort with a
+ * (component, cycle, phase, domain) report when
+ *   - a barrier-owned seam is entered from inside a simulation phase,
+ *   - a channel's pending buffer is touched by two threads in one cycle
+ *     or its in-flight queue is popped from a foreign domain,
+ *   - a DomainMerged consumer buffers outside the partitioned phase or
+ *     is mutated directly from inside it (the PR-6 bug class).
+ *
+ * Cost model: compiled out entirely with the audit layer
+ * (-DLOFT_AUDIT=OFF — every macro below expands to nothing); when
+ * compiled in, disabled shims cost one relaxed atomic load and a
+ * predictable branch, and the sanitizer is enabled per-process with
+ * LOFT_PHASE_SANITIZER=1 (or psan::setEnabledForTest from tests). The
+ * shims only read simulation state, so enabling the sanitizer cannot
+ * change a run's fingerprint.
+ */
+
+#ifndef NOC_SIM_PHASE_SANITIZER_HH
+#define NOC_SIM_PHASE_SANITIZER_HH
+
+#include <atomic>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+// Mirrors net/instrument.hh (sim/ cannot include net/): the sanitizer
+// is part of the audit/instrumentation layer and compiles out with it.
+#ifndef LOFT_AUDIT_ENABLED
+#define LOFT_AUDIT_ENABLED 1
+#endif
+
+namespace noc
+{
+
+/** Where inside a cycle the calling thread currently is. */
+enum class SimPhase : std::uint8_t
+{
+    Idle,        ///< outside a parallel window / between cycles
+    Prologue,    ///< serial keyless components before the mesh
+    Partitioned, ///< domain execution (workers + main thread)
+    Barrier,     ///< single-threaded flush/merge at the cycle barrier
+    Epilogue,    ///< serial keyless components after the mesh
+};
+
+const char *simPhaseName(SimPhase p);
+
+namespace psan
+{
+
+/** True when the sanitizer machinery is compiled into this build. */
+constexpr bool kCompiledIn = LOFT_AUDIT_ENABLED != 0;
+
+/** Cached LOFT_PHASE_SANITIZER tristate: -1 unknown, 0 off, 1 on. */
+extern std::atomic<int> g_enabled;
+
+/** Slow path: read LOFT_PHASE_SANITIZER and cache the verdict. */
+bool enabledSlow();
+
+/** Force the sanitizer on (1) / off (0) / back to the env (-1). */
+void setEnabledForTest(int v);
+
+inline bool
+enabled()
+{
+#if LOFT_AUDIT_ENABLED
+    const int e = g_enabled.load(std::memory_order_relaxed);
+    if (e >= 0)
+        return e != 0;
+    return enabledSlow();
+#else
+    return false;
+#endif
+}
+
+/** Per-thread phase tag, stamped by the Simulator's parallel loop. */
+struct ThreadState
+{
+    SimPhase phase = SimPhase::Idle;
+    Cycle cycle = 0;
+};
+
+#if LOFT_AUDIT_ENABLED
+inline thread_local ThreadState tlPhase;
+#endif
+
+/**
+ * Per-channel sanitizer scratch (lives in Channel under the audit
+ * gate). Owners are thread identities (&tlPhase); in a correct run each
+ * field is only ever written by the one thread that legitimately owns
+ * the seam, so the scratch itself introduces no data race.
+ */
+struct PortState
+{
+    const void *sendOwner = nullptr; ///< thread of this cycle's sends
+    Cycle sendCycle = kNeverCycle;   ///< cycle sendOwner was latched
+    const void *recvOwner = nullptr; ///< receiving thread this window
+};
+
+/** Abort with the (component, cycle, phase, domain) report. */
+[[noreturn]] void violation(const char *seam, const char *rule);
+
+void checkBarrierSeam(const char *seam);
+void checkChannelSend(PortState &st);
+void checkChannelReceive(PortState &st);
+void checkDeferredBuffer(const char *seam);
+void checkDirectDelivery(const char *seam);
+void resetPort(PortState &st);
+
+} // namespace psan
+} // namespace noc
+
+#if LOFT_AUDIT_ENABLED
+
+/** Stamp the calling thread's (phase, cycle). Simulator only. */
+#define LOFT_PSAN_SET_PHASE(phase_, cycle_)                              \
+    do {                                                                 \
+        if (::noc::psan::enabled()) {                                    \
+            ::noc::psan::tlPhase.phase = (phase_);                       \
+            ::noc::psan::tlPhase.cycle = (cycle_);                       \
+        }                                                                \
+    } while (0)
+
+/** Barrier-owned seam (flushPending / mergeDomains / ...). */
+#define LOFT_PSAN_BARRIER_SEAM(seam_)                                    \
+    do {                                                                 \
+        if (::noc::psan::enabled())                                      \
+            ::noc::psan::checkBarrierSeam(seam_);                        \
+    } while (0)
+
+/** A deferred (concurrent-mode) channel send. */
+#define LOFT_PSAN_CHANNEL_SEND(st_)                                      \
+    do {                                                                 \
+        if (::noc::psan::enabled())                                      \
+            ::noc::psan::checkChannelSend(st_);                          \
+    } while (0)
+
+/** A channel in-flight pop. */
+#define LOFT_PSAN_CHANNEL_RECEIVE(st_)                                   \
+    do {                                                                 \
+        if (::noc::psan::enabled())                                      \
+            ::noc::psan::checkChannelReceive(st_);                       \
+    } while (0)
+
+/** A DomainMerged hook buffering into its per-domain scratch. */
+#define LOFT_PSAN_DEFERRED_BUFFER(seam_)                                 \
+    do {                                                                 \
+        if (::noc::psan::enabled())                                      \
+            ::noc::psan::checkDeferredBuffer(seam_);                     \
+    } while (0)
+
+/** A DomainMerged hook mutating shared state directly. */
+#define LOFT_PSAN_DIRECT_DELIVERY(seam_)                                 \
+    do {                                                                 \
+        if (::noc::psan::enabled())                                      \
+            ::noc::psan::checkDirectDelivery(seam_);                     \
+    } while (0)
+
+/** Clear per-channel scratch at a window boundary. */
+#define LOFT_PSAN_PORT_RESET(st_)                                        \
+    do {                                                                 \
+        if (::noc::psan::enabled())                                      \
+            ::noc::psan::resetPort(st_);                                 \
+    } while (0)
+
+#else // !LOFT_AUDIT_ENABLED — zero cost, argument tokens discarded
+
+#define LOFT_PSAN_SET_PHASE(phase_, cycle_) ((void)0)
+#define LOFT_PSAN_BARRIER_SEAM(seam_) ((void)0)
+#define LOFT_PSAN_CHANNEL_SEND(st_) ((void)0)
+#define LOFT_PSAN_CHANNEL_RECEIVE(st_) ((void)0)
+#define LOFT_PSAN_DEFERRED_BUFFER(seam_) ((void)0)
+#define LOFT_PSAN_DIRECT_DELIVERY(seam_) ((void)0)
+#define LOFT_PSAN_PORT_RESET(st_) ((void)0)
+
+#endif // LOFT_AUDIT_ENABLED
+
+#endif // NOC_SIM_PHASE_SANITIZER_HH

@@ -6,6 +6,7 @@
 
 #include "sim/alloc.hh"
 #include "sim/logging.hh"
+#include "sim/phase_sanitizer.hh"
 
 namespace noc
 {
@@ -285,6 +286,7 @@ Simulator::runDomain(unsigned domain)
     par::DomainContext &cx = par::ctx();
     cx.domain = static_cast<int>(domain);
     cx.dirty = &plan_->dirty[domain];
+    LOFT_PSAN_SET_PHASE(SimPhase::Partitioned, now_);
     Plan::Counters &ctr = plan_->counters[domain];
     for (const Plan::Item &item : plan_->domains[domain]) {
         cx.component = item.index;
@@ -297,6 +299,7 @@ Simulator::runDomain(unsigned domain)
     }
     cx.domain = par::kDirect;
     cx.dirty = nullptr;
+    LOFT_PSAN_SET_PHASE(SimPhase::Idle, now_);
 }
 
 void
@@ -309,6 +312,7 @@ Simulator::stepParallel()
     // generator), serially, exactly as in a serial step. Sends land on
     // the serial dirty list and flush with everything else.
     cx.dirty = &plan.dirty[workers_];
+    LOFT_PSAN_SET_PHASE(SimPhase::Prologue, now_);
     for (std::size_t i = 0; i < plan.prologueEnd; ++i) {
         const Entry &e = components_[i];
         if (e.component->quiescent()) {
@@ -332,6 +336,7 @@ Simulator::stepParallel()
     // (delivery cycles are stamped at send time, so flush order cannot
     // reorder deliveries), then replay buffered cross-domain mutations.
     cx.dirty = &plan.dirty[workers_];
+    LOFT_PSAN_SET_PHASE(SimPhase::Barrier, now_);
     for (std::vector<PendingPort *> &list : plan.dirty) {
         for (PendingPort *p : list)
             p->flushPending();
@@ -343,6 +348,7 @@ Simulator::stepParallel()
     // Epilogue: keyless components after the mesh (GSF frame barrier,
     // auditor, telemetry) observe the same post-delivery state they
     // would in a serial cycle.
+    LOFT_PSAN_SET_PHASE(SimPhase::Epilogue, now_);
     for (std::size_t i = plan.epilogueBegin; i < components_.size();
          ++i) {
         const Entry &e = components_[i];
@@ -360,6 +366,7 @@ Simulator::stepParallel()
         c.executed = 0;
         c.skipped = 0;
     }
+    LOFT_PSAN_SET_PHASE(SimPhase::Idle, now_);
     ++now_;
 }
 

@@ -124,6 +124,9 @@ struct TelemetryEpoch
 // loft-tidy: hook-ignored(onSourceThrottled)    — stall attribution is
 //     the trace subsystem's job (src/trace); the time series already
 //     reflects back-pressure through the utilization counters.
+// loft-tidy: phase-serial — keyless: ticked in the serial epilogue and
+//     fed through the DeferredObserver merge, never inside the
+//     partitioned phase.
 class TelemetryCollector final : public NetObserver, public Clocked
 {
   public:

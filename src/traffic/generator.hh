@@ -37,6 +37,9 @@ struct FlowRate
     InjectionProcess process = InjectionProcess::Bernoulli;
 };
 
+// loft-tidy: phase-serial — keyless: injects in the serial prologue so
+//     every domain sees this cycle's arrivals; never ticked inside the
+//     partitioned phase.
 class TrafficGenerator final : public Clocked
 {
   public:

@@ -69,6 +69,8 @@ class Trace
  * the construction-time start cycle); packets refused by a full NI are
  * retried every cycle, preserving order per flow.
  */
+// loft-tidy: phase-serial — keyless: injects in the serial prologue,
+//     like TrafficGenerator; never ticked inside the partitioned phase.
 class TraceReplayer final : public Clocked
 {
   public:

@@ -63,7 +63,7 @@ checkClockedComponent(const Context &ctx, std::vector<Diagnostic> &out)
     std::set<std::string> clockedLike{ctx.clockedBase};
     bool grew = true;
     auto growFrom = [&](const FileUnit &u) {
-        for (const ClassDecl &cls : findClasses(u)) {
+        for (const ClassDecl &cls : ctx.factsOf(u).classes) {
             if (clockedLike.count(cls.name))
                 continue;
             for (const std::string &b : cls.baseNames) {
@@ -84,8 +84,8 @@ checkClockedComponent(const Context &ctx, std::vector<Diagnostic> &out)
     }
 
     for (const FileUnit &u : ctx.units) {
-        const auto annotations = findAnnotations(u);
-        for (const ClassDecl &cls : findClasses(u)) {
+        const auto &annotations = ctx.factsOf(u).annotations;
+        for (const ClassDecl &cls : ctx.factsOf(u).classes) {
             const bool derivesClocked = std::any_of(
                 cls.baseNames.begin(), cls.baseNames.end(),
                 [&](const std::string &b) {

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * loft-cross-domain-channel
+ *
+ * Every cross-component handle held by a clocked component must be a
+ * registered deferred endpoint. This is the PR-6 bug class caught at
+ * the declaration site: a `NetObserver *` / `MetricsCollector *` /
+ * `GsfBarrier *` member inside a Clocked subclass is written from the
+ * partitioned phase, so unless its mutations are buffered per domain
+ * and merged at the cycle barrier the parallel schedule diverges from
+ * the serial one.
+ *
+ * A handle member whose type derives (transitively) from the observer
+ * base (`NetObserver`) or the barrier-merged base (`DomainMerged`) must
+ * carry one of:
+ *   - `loft-tidy: deferred-endpoint(seam)` — the handle is a registered
+ *     deferred seam (per-domain buffering, merged at the barrier);
+ *   - `loft-tidy: phase-shared(phase)` — the handle is only touched
+ *     from the named serial phase, never inside the partitioned phase.
+ * A class annotated `loft-tidy: phase-serial` is exempt as a whole:
+ * it is ticked only in the serial prologue/epilogue, where direct
+ * delivery is the canonical path.
+ *
+ * `Channel` members are deliberately out of scope: the channel API is
+ * phase-safe by construction (send() buffers into the pending slot the
+ * barrier flushes), so a channel handle *is* the deferred endpoint.
+ */
+
+#include "checks.hh"
+
+#include <algorithm>
+
+namespace loft_tidy
+{
+
+namespace
+{
+
+/** True if an annotation with @p directive is attached to the
+ *  declaration at @p line (same line or the comment block above). */
+bool
+annotatedAt(const FileUnit &u, const std::vector<Annotation> &all,
+            int line, const char *directive)
+{
+    const int top = annotationBlockTop(u, line);
+    return std::any_of(all.begin(), all.end(), [&](const Annotation &a) {
+        return a.directive == directive && a.line >= top &&
+               a.line <= line;
+    });
+}
+
+} // namespace
+
+void
+checkCrossDomainChannel(const Context &ctx, std::vector<Diagnostic> &out)
+{
+    const std::set<std::string> clockedLike =
+        derivedClosure(ctx, ctx.clockedBase);
+    std::set<std::string> sharedTypes =
+        derivedClosure(ctx, ctx.observerBase);
+    for (const std::string &n : derivedClosure(ctx, ctx.mergedBase))
+        sharedTypes.insert(n);
+
+    for (const FileUnit &u : ctx.units) {
+        const UnitFacts &facts = ctx.factsOf(u);
+        for (const ClassDecl &cls : facts.classes) {
+            const bool isClocked =
+                std::any_of(cls.baseNames.begin(), cls.baseNames.end(),
+                            [&](const std::string &b) {
+                                return clockedLike.count(b) != 0;
+                            });
+            if (!isClocked)
+                continue;
+            bool phaseSerial = false;
+            for (const Annotation &a :
+                 annotationsFor(u, cls, facts.annotations))
+                if (a.directive == "phase-serial")
+                    phaseSerial = true;
+            if (phaseSerial)
+                continue;
+
+            // Ranges to skip while scanning member scope: method and
+            // nested-class bodies inside this class.
+            std::map<std::size_t, std::size_t> skip;
+            for (const MethodDef &m : facts.methods)
+                if (m.bodyBegin > cls.bodyBegin &&
+                    m.bodyEnd <= cls.bodyEnd)
+                    skip[m.bodyBegin] = m.bodyEnd;
+            for (const ClassDecl &c2 : facts.classes)
+                if (c2.bodyBegin > cls.bodyBegin &&
+                    c2.bodyEnd <= cls.bodyEnd)
+                    skip[c2.bodyBegin] = c2.bodyEnd;
+
+            for (std::size_t i = cls.bodyBegin + 1;
+                 i + 1 < cls.bodyEnd; ++i) {
+                auto sk = skip.find(i);
+                if (sk != skip.end()) {
+                    i = sk->second - 1;
+                    continue;
+                }
+                const Token &t = u.tok(i);
+                if (t.kind != Token::Kind::Ident ||
+                    !sharedTypes.count(t.text))
+                    continue;
+                // Declaration start only: previous token closes a
+                // prior member or an access-specifier label.
+                const std::string &prev = u.tok(i - 1).text;
+                if (i != cls.bodyBegin + 1 && prev != ";" &&
+                    prev != "{" && prev != "}" && prev != ":")
+                    continue;
+                // `Type [*&]+ name` followed by ; = or {.
+                std::size_t j = i + 1;
+                bool indirect = false;
+                while (u.tok(j).kind == Token::Kind::Punct &&
+                       (u.tok(j).text == "*" || u.tok(j).text == "&")) {
+                    indirect = true;
+                    ++j;
+                }
+                if (!indirect ||
+                    u.tok(j).kind != Token::Kind::Ident)
+                    continue;
+                const std::string member = u.tok(j).text;
+                const std::string &after = u.tok(j + 1).text;
+                if (after != ";" && after != "=" && after != "{")
+                    continue;
+                if (annotatedAt(u, facts.annotations, t.line,
+                                "deferred-endpoint") ||
+                    annotatedAt(u, facts.annotations, t.line,
+                                "phase-shared"))
+                    continue;
+                report(u, t.line, t.col, kCheckCrossDomainChannel,
+                       "clocked component '" + cls.name +
+                           "' holds cross-domain handle '" + t.text +
+                           " *" + member +
+                           "': writes from the partitioned phase "
+                           "bypass the cycle barrier; route them "
+                           "through a deferred seam and annotate the "
+                           "member 'loft-tidy: deferred-endpoint(seam)'"
+                           " (or 'loft-tidy: phase-shared(phase)' if "
+                           "it is only touched serially)",
+                       out);
+            }
+        }
+    }
+}
+
+} // namespace loft_tidy

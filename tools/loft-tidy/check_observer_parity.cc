@@ -73,8 +73,8 @@ checkObserverParity(const Context &ctx, std::vector<Diagnostic> &out)
     std::vector<ObserverClass> completes;
 
     auto scan = [&](const FileUnit &u, bool diagnosable) {
-        const auto annotations = findAnnotations(u);
-        for (const ClassDecl &cls : findClasses(u)) {
+        const auto &annotations = ctx.factsOf(u).annotations;
+        for (const ClassDecl &cls : ctx.factsOf(u).classes) {
             bool isBase = false;
             bool isComplete = false;
             bool isStrict = false;

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * loft-phase-discipline
+ *
+ * Tick bodies — and their transitive same-unit, same-class callees —
+ * execute inside the partitioned phase of the parallel cycle schedule
+ * (prologue → partitioned → barrier → epilogue). Code in that phase
+ * region may only write its own component's state or go through a
+ * registered deferred seam; anything else is a cross-domain write the
+ * barrier never sees, the PR-6 bug class.
+ *
+ * The phase region of a scanned class is seeded by its `tick` /
+ * `quiescent` definitions plus any method annotated
+ * `loft-tidy: phase-pure` (a class-level `phase-pure` annotation pulls
+ * in every method — for helpers like the output scheduler that run
+ * inside the partitioned phase without being Clocked themselves), and
+ * grows through unqualified / `this->` calls to methods of the same
+ * class defined in the same translation unit.
+ *
+ * Inside the region, the check diagnoses:
+ *  1. calls to barrier seams (`flushPending`, `mergeDomains`,
+ *     `beginParallel`, `endParallel`, `setConcurrent`) — these run
+ *     only at the cycle barrier, on the main thread;
+ *  2. calls to same-class methods annotated
+ *     `loft-tidy: phase-shared(phase)` and uses of members so
+ *     annotated — they belong to a serial phase;
+ *  3. dereferences of cross-component handle members (type derived
+ *     from `NetObserver` / `DomainMerged`) not annotated
+ *     `loft-tidy: deferred-endpoint(seam)`.
+ *
+ * Classes annotated `loft-tidy: phase-serial` (ticked only in the
+ * serial prologue/epilogue) are exempt. Class-level annotations are
+ * read from the comment block immediately above the class declaration.
+ */
+
+#include "checks.hh"
+
+#include <algorithm>
+
+namespace loft_tidy
+{
+
+namespace
+{
+
+const std::set<std::string> &
+seamNames()
+{
+    static const std::set<std::string> names = {
+        "flushPending", "mergeDomains", "beginParallel", "endParallel",
+        "setConcurrent",
+    };
+    return names;
+}
+
+bool
+annotatedAt(const FileUnit &u, const std::vector<Annotation> &all,
+            int line, const char *directive)
+{
+    const int top = annotationBlockTop(u, line);
+    return std::any_of(all.begin(), all.end(), [&](const Annotation &a) {
+        return a.directive == directive && a.line >= top &&
+               a.line <= line;
+    });
+}
+
+/** Everything the phase-region scan needs to know about one class. */
+struct ClassPhaseInfo
+{
+    bool found = false;
+    bool scanned = false; ///< clocked or phase-pure, and not phase-serial
+    bool allPure = false; ///< class-level phase-pure
+    std::set<std::string> phaseSharedMethods;
+    std::set<std::string> phasePureMethods;
+    std::set<std::string> sharedHandles;   ///< members of shared type
+    std::set<std::string> deferredHandles; ///< ... annotated deferred
+    std::set<std::string> phaseSharedMembers;
+};
+
+/** Locate @p className 's definition in @p u or its includes and
+ *  digest its annotations and member declarations. */
+ClassPhaseInfo
+classPhaseInfo(const Context &ctx, const FileUnit &u,
+               const std::vector<const FileUnit *> &includes,
+               const std::string &className,
+               const std::set<std::string> &clockedLike,
+               const std::set<std::string> &sharedTypes)
+{
+    ClassPhaseInfo info;
+    const FileUnit *declUnit = nullptr;
+    const ClassDecl *decl = nullptr;
+    std::vector<const FileUnit *> search{&u};
+    search.insert(search.end(), includes.begin(), includes.end());
+    for (const FileUnit *cand : search) {
+        for (const ClassDecl &c : ctx.factsOf(*cand).classes) {
+            if (c.name == className) {
+                declUnit = cand;
+                decl = &c;
+                break;
+            }
+        }
+        if (decl)
+            break;
+    }
+    if (!decl)
+        return info;
+    info.found = true;
+
+    const UnitFacts &facts = ctx.factsOf(*declUnit);
+    const bool phaseSerial =
+        annotatedAt(*declUnit, facts.annotations, decl->line,
+                    "phase-serial");
+    info.allPure = annotatedAt(*declUnit, facts.annotations, decl->line,
+                               "phase-pure");
+    const bool clocked = clockedLike.count(className) != 0;
+    info.scanned = (clocked || info.allPure) && !phaseSerial;
+
+    // Member-scope scan of the class body: handle members, annotated
+    // members, and method declarations with concurrency annotations.
+    std::map<std::size_t, std::size_t> skip;
+    for (const MethodDef &m : facts.methods)
+        if (m.bodyBegin > decl->bodyBegin && m.bodyEnd <= decl->bodyEnd)
+            skip[m.bodyBegin] = m.bodyEnd;
+    for (const ClassDecl &c2 : facts.classes)
+        if (c2.bodyBegin > decl->bodyBegin &&
+            c2.bodyEnd <= decl->bodyEnd)
+            skip[c2.bodyBegin] = c2.bodyEnd;
+
+    for (std::size_t i = decl->bodyBegin + 1; i + 1 < decl->bodyEnd;
+         ++i) {
+        auto sk = skip.find(i);
+        if (sk != skip.end()) {
+            i = sk->second - 1;
+            continue;
+        }
+        const Token &t = declUnit->tok(i);
+        if (t.kind != Token::Kind::Ident)
+            continue;
+        const std::string &next = declUnit->tok(i + 1).text;
+        const Token &prev = declUnit->tok(i - 1);
+        // Method declaration (or in-class definition header).
+        if (next == "(" && prev.text != "::" && prev.text != "." &&
+            prev.text != "->") {
+            if (annotatedAt(*declUnit, facts.annotations, t.line,
+                            "phase-shared"))
+                info.phaseSharedMethods.insert(t.text);
+            if (annotatedAt(*declUnit, facts.annotations, t.line,
+                            "phase-pure"))
+                info.phasePureMethods.insert(t.text);
+            continue;
+        }
+        // Any member declaration carrying a phase-shared annotation:
+        // `T name` followed by ; = or [ at member scope.
+        if ((next == ";" || next == "=" || next == "[") &&
+            (prev.kind == Token::Kind::Ident || prev.text == "*" ||
+             prev.text == "&" || prev.text == ">") &&
+            annotatedAt(*declUnit, facts.annotations, t.line,
+                        "phase-shared"))
+            info.phaseSharedMembers.insert(t.text);
+        // Handle member: `SharedType [*&]+ name [;={]`.
+        if (!sharedTypes.count(t.text))
+            continue;
+        std::size_t j = i + 1;
+        bool indirect = false;
+        while (declUnit->tok(j).kind == Token::Kind::Punct &&
+               (declUnit->tok(j).text == "*" ||
+                declUnit->tok(j).text == "&")) {
+            indirect = true;
+            ++j;
+        }
+        if (!indirect || declUnit->tok(j).kind != Token::Kind::Ident)
+            continue;
+        const std::string &after = declUnit->tok(j + 1).text;
+        if (after != ";" && after != "=" && after != "{")
+            continue;
+        const std::string member = declUnit->tok(j).text;
+        info.sharedHandles.insert(member);
+        if (annotatedAt(*declUnit, facts.annotations, t.line,
+                        "deferred-endpoint"))
+            info.deferredHandles.insert(member);
+        if (annotatedAt(*declUnit, facts.annotations, t.line,
+                        "phase-shared"))
+            info.phaseSharedMembers.insert(member);
+    }
+    return info;
+}
+
+} // namespace
+
+void
+checkPhaseDiscipline(const Context &ctx, std::vector<Diagnostic> &out)
+{
+    const std::set<std::string> clockedLike =
+        derivedClosure(ctx, ctx.clockedBase);
+    std::set<std::string> sharedTypes =
+        derivedClosure(ctx, ctx.observerBase);
+    for (const std::string &n : derivedClosure(ctx, ctx.mergedBase))
+        sharedTypes.insert(n);
+
+    static const std::vector<const FileUnit *> noIncludes;
+    for (std::size_t ui = 0; ui < ctx.units.size(); ++ui) {
+        const FileUnit &u = ctx.units[ui];
+        const UnitFacts &facts = ctx.factsOf(u);
+        const auto &includes = ui < ctx.includesOf.size()
+                                   ? ctx.includesOf[ui]
+                                   : noIncludes;
+
+        // Group this unit's method definitions by class.
+        std::map<std::string, std::vector<std::size_t>> byClass;
+        for (std::size_t mi = 0; mi < facts.methods.size(); ++mi)
+            byClass[facts.methods[mi].className].push_back(mi);
+
+        for (const auto &[className, methodIdx] : byClass) {
+            const ClassPhaseInfo info = classPhaseInfo(
+                ctx, u, includes, className, clockedLike, sharedTypes);
+            if (!info.found || !info.scanned)
+                continue;
+
+            std::map<std::string, std::vector<std::size_t>> byName;
+            for (std::size_t mi : methodIdx)
+                byName[facts.methods[mi].name].push_back(mi);
+
+            // Seed the phase region.
+            std::vector<std::size_t> work;
+            std::set<std::size_t> inRegion;
+            for (std::size_t mi : methodIdx) {
+                const MethodDef &m = facts.methods[mi];
+                const bool entry =
+                    m.name == "tick" || m.name == "quiescent" ||
+                    info.allPure ||
+                    info.phasePureMethods.count(m.name) != 0 ||
+                    annotatedAt(u, facts.annotations, m.line,
+                                "phase-pure");
+                if (entry && inRegion.insert(mi).second)
+                    work.push_back(mi);
+            }
+
+            // Grow through same-class calls, diagnosing as we scan.
+            while (!work.empty()) {
+                const MethodDef &m = facts.methods[work.back()];
+                work.pop_back();
+                for (std::size_t j = m.bodyBegin + 1;
+                     j + 1 < m.bodyEnd; ++j) {
+                    const Token &t = u.tok(j);
+                    if (t.kind != Token::Kind::Ident)
+                        continue;
+                    const std::string &next = u.tok(j + 1).text;
+                    const Token &prev = u.tok(j - 1);
+                    const bool unqualified =
+                        prev.text != "." && prev.text != "->" &&
+                        prev.text != "::";
+                    const bool selfCall =
+                        unqualified ||
+                        (prev.text == "->" &&
+                         u.tok(j - 2).text == "this");
+
+                    if (next == "(" && seamNames().count(t.text)) {
+                        report(u, t.line, t.col, kCheckPhaseDiscipline,
+                               "'" + className + "::" + m.name +
+                                   "' calls barrier seam '" + t.text +
+                                   "' from partitioned-phase code; "
+                                   "seams run only at the cycle "
+                                   "barrier, on the main thread",
+                               out);
+                        continue;
+                    }
+                    if (next == "(" && selfCall &&
+                        info.phaseSharedMethods.count(t.text)) {
+                        report(u, t.line, t.col, kCheckPhaseDiscipline,
+                               "'" + className + "::" + m.name +
+                                   "' calls phase-shared method '" +
+                                   t.text +
+                                   "' from partitioned-phase code; it "
+                                   "belongs to a serial phase",
+                               out);
+                        continue;
+                    }
+                    if (selfCall &&
+                        info.phaseSharedMembers.count(t.text)) {
+                        report(u, t.line, t.col, kCheckPhaseDiscipline,
+                               "'" + className + "::" + m.name +
+                                   "' uses phase-shared member '" +
+                                   t.text +
+                                   "' from partitioned-phase code; it "
+                                   "belongs to a serial phase",
+                               out);
+                        continue;
+                    }
+                    if (selfCall && (next == "->" || next == ".") &&
+                        info.sharedHandles.count(t.text) &&
+                        !info.deferredHandles.count(t.text)) {
+                        report(u, t.line, t.col, kCheckPhaseDiscipline,
+                               "'" + className + "::" + m.name +
+                                   "' dereferences cross-component "
+                                   "handle '" + t.text +
+                                   "' from partitioned-phase code, but "
+                                   "the handle is not a registered "
+                                   "deferred endpoint; buffer per "
+                                   "domain and merge at the barrier, "
+                                   "then annotate the member "
+                                   "'loft-tidy: deferred-endpoint"
+                                   "(seam)'",
+                               out);
+                        continue;
+                    }
+                    // Region growth: unqualified / this-> call to a
+                    // same-class method defined in this unit.
+                    if (next == "(" && selfCall) {
+                        auto it = byName.find(t.text);
+                        if (it != byName.end())
+                            for (std::size_t mi : it->second)
+                                if (inRegion.insert(mi).second)
+                                    work.push_back(mi);
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace loft_tidy

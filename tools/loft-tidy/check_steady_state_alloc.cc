@@ -89,7 +89,8 @@ void
 checkSteadyStateAlloc(const Context &ctx, std::vector<Diagnostic> &out)
 {
     for (const FileUnit &u : ctx.units) {
-        const std::vector<Annotation> anns = findAnnotations(u);
+        const std::vector<Annotation> &anns =
+            ctx.factsOf(u).annotations;
         std::set<int> pooledLines;
         for (const Annotation &a : anns)
             if (a.directive == "pooled")

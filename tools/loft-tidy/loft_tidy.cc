@@ -22,12 +22,14 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "checks.hh"
@@ -48,6 +50,7 @@ struct Options
     bool listChecks = false;
     bool quiet = false;
     bool noIncludes = false;
+    bool timeReport = false;
     std::string rngType = "Rng";
     std::string clockedBase = "Clocked";
 };
@@ -58,6 +61,9 @@ const char *const kAllChecks[] = {
     kCheckRngDiscipline,
     kCheckClockedComponent,
     kCheckSteadyStateAlloc,
+    kCheckPhaseDiscipline,
+    kCheckCrossDomainChannel,
+    kCheckStaleSuppression,
 };
 
 void
@@ -75,6 +81,8 @@ usage(std::ostream &os)
           "  --no-includes       do not load project headers of inputs\n"
           "  --rng-type=NAME     sim RNG type name (default: Rng)\n"
           "  --clocked-base=NAME clock base class (default: Clocked)\n"
+          "  --time-report       print parse/include-graph and\n"
+          "                      per-check wall time to stderr\n"
           "  --quiet             suppress the summary line\n";
 }
 
@@ -97,6 +105,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.quiet = true;
         } else if (a == "--no-includes") {
             opt.noIncludes = true;
+        } else if (a == "--time-report") {
+            opt.timeReport = true;
         } else if (const char *v = value("--checks=")) {
             std::string s = v;
             std::size_t pos = 0;
@@ -142,23 +152,37 @@ canon(const std::string &p)
     return ec ? p : c.string();
 }
 
-/** Resolve a quoted include against the project layout. */
+/** Resolve a quoted include against the project layout. Memoized on
+ *  (includer directory, include text): the same header is resolved
+ *  once per unit pass and again for the include graph, and the
+ *  fs::exists probes dominate the engine's I/O time. */
 std::string
 resolveInclude(const Options &opt, const std::string &includer,
                const std::string &inc)
 {
+    static std::map<std::pair<std::string, std::string>, std::string>
+        cache;
+    const std::string dir = fs::path(includer).parent_path().string();
+    const auto key = std::make_pair(dir, inc);
+    auto hit = cache.find(key);
+    if (hit != cache.end())
+        return hit->second;
     const fs::path candidates[] = {
         fs::path(opt.projectRoot) / "src" / inc,
-        fs::path(includer).parent_path() / inc,
+        fs::path(dir) / inc,
         fs::path(opt.projectRoot) / inc,
         fs::path(opt.projectRoot) / "tools" / "loft-tidy" / inc,
     };
+    std::string resolved;
     for (const fs::path &c : candidates) {
         std::error_code ec;
-        if (fs::exists(c, ec) && !ec)
-            return canon(c.string());
+        if (fs::exists(c, ec) && !ec) {
+            resolved = canon(c.string());
+            break;
+        }
     }
-    return {};
+    cache.emplace(key, resolved);
+    return resolved;
 }
 
 /** Minimal "file": "..." extraction from compile_commands.json. */
@@ -206,6 +230,14 @@ main(int argc, char **argv)
         usage(std::cerr);
         return 2;
     }
+
+    using Clock = std::chrono::steady_clock;
+    const auto msSince = [](Clock::time_point t0) {
+        return std::chrono::duration<double, std::milli>(
+                   Clock::now() - t0)
+            .count();
+    };
+    const auto tLoad = Clock::now();
 
     Context ctx;
     ctx.rngType = opt.rngType;
@@ -294,21 +326,51 @@ main(int argc, char **argv)
         }
     }
 
+    const double loadMs = msSince(tLoad);
+
     auto enabled = [&](const char *name) {
         return opt.checks.empty() || opt.checks.count(name) != 0;
     };
 
     std::vector<Diagnostic> diags;
-    if (enabled(kCheckUnorderedIteration))
-        checkUnorderedIteration(ctx, diags);
-    if (enabled(kCheckObserverParity))
-        checkObserverParity(ctx, diags);
-    if (enabled(kCheckRngDiscipline))
-        checkRngDiscipline(ctx, diags);
-    if (enabled(kCheckClockedComponent))
-        checkClockedComponent(ctx, diags);
-    if (enabled(kCheckSteadyStateAlloc))
-        checkSteadyStateAlloc(ctx, diags);
+    std::vector<std::pair<const char *, double>> checkMs;
+    auto timed = [&](const char *name, auto &&fn) {
+        if (!enabled(name))
+            return;
+        const auto t0 = Clock::now();
+        fn();
+        checkMs.emplace_back(name, msSince(t0));
+    };
+    timed(kCheckUnorderedIteration,
+          [&] { checkUnorderedIteration(ctx, diags); });
+    timed(kCheckObserverParity,
+          [&] { checkObserverParity(ctx, diags); });
+    timed(kCheckRngDiscipline, [&] { checkRngDiscipline(ctx, diags); });
+    timed(kCheckClockedComponent,
+          [&] { checkClockedComponent(ctx, diags); });
+    timed(kCheckSteadyStateAlloc,
+          [&] { checkSteadyStateAlloc(ctx, diags); });
+    timed(kCheckPhaseDiscipline,
+          [&] { checkPhaseDiscipline(ctx, diags); });
+    timed(kCheckCrossDomainChannel,
+          [&] { checkCrossDomainChannel(ctx, diags); });
+    // Last: it audits the suppression hits the other checks recorded.
+    {
+        std::set<std::string> ran;
+        for (const auto &[name, ms] : checkMs)
+            ran.insert(name);
+        timed(kCheckStaleSuppression,
+              [&] { checkStaleSuppression(ctx, ran, diags); });
+    }
+
+    if (opt.timeReport) {
+        std::cerr << "loft-tidy: time: parse+includes "
+                  << static_cast<long>(loadMs + 0.5) << " ms";
+        for (const auto &[name, ms] : checkMs)
+            std::cerr << ", " << name << " "
+                      << static_cast<long>(ms + 0.5) << " ms";
+        std::cerr << "\n";
+    }
 
     std::sort(diags.begin(), diags.end());
     diags.erase(std::unique(diags.begin(), diags.end(),

@@ -1,0 +1,45 @@
+// Known-bad fixture for loft-cross-domain-channel.
+//
+// A clocked sink holding two cross-component handles with no
+// deferred-endpoint registration: a metrics collector (reached through
+// an intermediate NetObserver subclass, exercising the transitive
+// closure) and a raw observer. Writes through either from the
+// partitioned phase would bypass the cycle barrier — the PR-6 bug
+// class, caught here at the declaration site.
+//
+// Expected: the check fires on both member declarations.
+
+using Cycle = unsigned long long;
+
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+    virtual void tick(Cycle now) = 0;
+};
+
+class NetObserver
+{
+  public:
+    virtual ~NetObserver() = default;
+    virtual void onFlitEjected(unsigned flow) {}
+};
+
+class MetricsCollector : public NetObserver
+{
+  public:
+    void onFlitEjected(unsigned flow) override { ++flits_; }
+
+  private:
+    unsigned long long flits_ = 0;
+};
+
+class BadSink final : public Clocked
+{
+  public:
+    void tick(Cycle now) override {}
+
+  private:
+    MetricsCollector *metrics_ = nullptr;
+    NetObserver *observer_ = nullptr;
+};

@@ -1,0 +1,68 @@
+// Known-good fixture for loft-cross-domain-channel.
+//
+// Every cross-component handle held by a clocked component is either
+// a registered deferred endpoint, declared phase-shared (touched only
+// from a serial phase), or owned by a phase-serial component that
+// never runs inside the partitioned phase. A non-clocked holder is
+// out of scope entirely.
+//
+// Expected: the check stays silent.
+
+using Cycle = unsigned long long;
+
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+    virtual void tick(Cycle now) = 0;
+};
+
+class NetObserver
+{
+  public:
+    virtual ~NetObserver() = default;
+    virtual void onFlitEjected(unsigned flow) {}
+};
+
+class MetricsCollector : public NetObserver
+{
+  public:
+    void onFlitEjected(unsigned flow) override { ++flits_; }
+
+  private:
+    unsigned long long flits_ = 0;
+};
+
+class GoodSink final : public Clocked
+{
+  public:
+    void tick(Cycle now) override {}
+
+  private:
+    // loft-tidy: deferred-endpoint(MetricsCollector::mergeDomains)
+    MetricsCollector *metrics_ = nullptr;
+    // loft-tidy: deferred-endpoint(DeferredObserver)
+    NetObserver *observer_ = nullptr;
+    // loft-tidy: phase-shared(epilogue) — only the serial drain
+    //     dereferences it.
+    NetObserver *epilogueTap_ = nullptr;
+};
+
+// Never ticked inside the partitioned phase: direct delivery is the
+// canonical path, no registration needed.
+// loft-tidy: phase-serial
+class SerialPump final : public Clocked
+{
+  public:
+    void tick(Cycle now) override { observer_->onFlitEjected(0); }
+
+  private:
+    NetObserver *observer_ = nullptr;
+};
+
+// Not a clocked component: out of scope for this check.
+class PassiveMux
+{
+  private:
+    NetObserver *downstream_ = nullptr;
+};

@@ -1,0 +1,67 @@
+// Known-bad fixture for loft-phase-discipline.
+//
+// A clocked router whose phase region (tick plus the helper it calls)
+// breaks the partitioned-phase write discipline four ways:
+//  1. calls a barrier seam (flushPending) mid-phase;
+//  2. calls a same-class method annotated phase-shared(epilogue);
+//  3. writes a member annotated phase-shared(epilogue);
+//  4. dereferences a cross-component observer handle that is not a
+//     registered deferred endpoint.
+//
+// Expected: the check fires on all four sites.
+
+using Cycle = unsigned long long;
+
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+    virtual void tick(Cycle now) = 0;
+    virtual bool quiescent() const { return false; }
+};
+
+class NetObserver
+{
+  public:
+    virtual ~NetObserver() = default;
+    virtual void onFlitEjected(unsigned flow) {}
+};
+
+class Channel
+{
+  public:
+    void send(int v) { pending_ = v; }
+    void flushPending() { ready_ = pending_; }
+
+  private:
+    int pending_ = 0;
+    int ready_ = 0;
+};
+
+class BadRouter final : public Clocked
+{
+  public:
+    void
+    tick(Cycle now) override
+    {
+        out_.flushPending(); // seam call inside the partitioned phase
+        forward(now);
+    }
+
+  private:
+    void
+    forward(Cycle now)
+    {
+        drainStats();                // phase-shared method
+        lastEpilogue_ = now;         // phase-shared member
+        observer_->onFlitEjected(0); // unregistered handle
+    }
+
+    // loft-tidy: phase-shared(epilogue)
+    void drainStats() {}
+
+    Channel out_;
+    // loft-tidy: phase-shared(epilogue)
+    Cycle lastEpilogue_ = 0;
+    NetObserver *observer_ = nullptr;
+};

@@ -1,0 +1,110 @@
+// Known-good fixture for loft-phase-discipline.
+//
+// The same shapes as the bad fixture, written within the contract:
+//  - the observer handle is a registered deferred endpoint, so the
+//    phase region may dereference it;
+//  - the epilogue work lives in a phase-shared method that is *not*
+//    reachable from tick;
+//  - a phase-serial component (ticked only in the serial prologue or
+//    epilogue) may call seams and touch anything it likes;
+//  - a class-level phase-pure helper obeys the discipline too.
+//
+// Expected: the check stays silent.
+
+using Cycle = unsigned long long;
+
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+    virtual void tick(Cycle now) = 0;
+    virtual bool quiescent() const { return false; }
+};
+
+class NetObserver
+{
+  public:
+    virtual ~NetObserver() = default;
+    virtual void onFlitEjected(unsigned flow) {}
+};
+
+class Channel
+{
+  public:
+    void send(int v) { pending_ = v; }
+    void flushPending() { ready_ = pending_; }
+
+  private:
+    int pending_ = 0;
+    int ready_ = 0;
+};
+
+class GoodRouter final : public Clocked
+{
+  public:
+    void
+    tick(Cycle now) override
+    {
+        forward(now);
+    }
+
+    // Not reachable from tick: runs at the barrier, on the main
+    // thread, where seams are legal.
+    // loft-tidy: phase-shared(epilogue)
+    void
+    drainStats()
+    {
+        out_.flushPending();
+        lastEpilogue_ = 0;
+    }
+
+  private:
+    void
+    forward(Cycle now)
+    {
+        out_.send(static_cast<int>(now));
+        observer_->onFlitEjected(0); // registered deferred endpoint
+    }
+
+    Channel out_;
+    // loft-tidy: phase-shared(epilogue)
+    Cycle lastEpilogue_ = 0;
+    // loft-tidy: deferred-endpoint(DeferredObserver)
+    NetObserver *observer_ = nullptr;
+};
+
+// Ticked only in the serial prologue: direct delivery and seam calls
+// are the canonical path there.
+// loft-tidy: phase-serial
+class SerialInjector final : public Clocked
+{
+  public:
+    void
+    tick(Cycle now) override
+    {
+        observer_->onFlitEjected(0);
+        link_.flushPending();
+    }
+
+  private:
+    Channel link_;
+    NetObserver *observer_ = nullptr;
+};
+
+// Not Clocked, but every method runs inside a router's tick.
+// loft-tidy: phase-pure
+class ScratchScheduler
+{
+  public:
+    void
+    book(Cycle slot)
+    {
+        lastBooked_ = slot;
+        observer_->onFlitEjected(1); // registered deferred endpoint
+    }
+
+  private:
+    Cycle lastBooked_ = 0;
+    // loft-tidy: deferred-endpoint(DeferredObserver)
+    NetObserver *observer_ = nullptr;
+};

@@ -1,0 +1,71 @@
+// Known-bad regression fixture: the PR-6 opportunistic local reset,
+// distilled.
+//
+// Under the serial schedule, a router that saw an idle input could
+// "helpfully" flush and re-arm its channel right inside tick — a
+// no-op, because nothing else runs mid-cycle. Under the partitioned
+// schedule the same code publishes the channel's pending slot in the
+// middle of the partitioned phase, so a neighboring domain's
+// same-cycle traffic becomes visible one cycle early and the
+// fingerprint diverges with worker count. The reset belongs at the
+// cycle barrier.
+//
+// The seam calls sit two levels below tick, exercising the transitive
+// same-unit region construction.
+//
+// Expected: loft-phase-discipline fires on both seam calls.
+
+using Cycle = unsigned long long;
+
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+    virtual void tick(Cycle now) = 0;
+    virtual bool quiescent() const { return false; }
+};
+
+class Channel
+{
+  public:
+    void send(int v) { pending_ = v; }
+    int receive() { return ready_; }
+    void flushPending() { ready_ = pending_; }
+    void setConcurrent(bool on) { concurrent_ = on; }
+
+  private:
+    int pending_ = 0;
+    int ready_ = 0;
+    bool concurrent_ = false;
+};
+
+class ResetRouter final : public Clocked
+{
+  public:
+    void
+    tick(Cycle now) override
+    {
+        if (in_->receive() != 0)
+            ++backlog_;
+        else
+            maybeReset(now);
+    }
+
+  private:
+    void
+    maybeReset(Cycle now)
+    {
+        if (backlog_ == 0)
+            resetLinks();
+    }
+
+    void
+    resetLinks()
+    {
+        in_->flushPending();     // publishes mid-phase
+        in_->setConcurrent(false); // and drops the deferred seam
+    }
+
+    Channel *in_ = nullptr;
+    unsigned backlog_ = 0;
+};

@@ -1,0 +1,63 @@
+// Known-good counterpart to the PR-6 opportunistic-local-reset
+// regression fixture.
+//
+// The fixed shape: tick only records the intent to reset in its own
+// component state; the actual flush/re-arm runs in a phase-shared
+// barrier method the simulator invokes on the main thread, after the
+// partitioned phase has joined. Same behavior at every worker count.
+//
+// Expected: loft-phase-discipline stays silent.
+
+using Cycle = unsigned long long;
+
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+    virtual void tick(Cycle now) = 0;
+    virtual bool quiescent() const { return false; }
+};
+
+class Channel
+{
+  public:
+    void send(int v) { pending_ = v; }
+    int receive() { return ready_; }
+    void flushPending() { ready_ = pending_; }
+    void setConcurrent(bool on) { concurrent_ = on; }
+
+  private:
+    int pending_ = 0;
+    int ready_ = 0;
+    bool concurrent_ = false;
+};
+
+class ResetRouter final : public Clocked
+{
+  public:
+    void
+    tick(Cycle now) override
+    {
+        if (in_->receive() != 0)
+            ++backlog_;
+        else if (backlog_ == 0)
+            wantReset_ = true; // own-component state only
+    }
+
+    // Runs at the cycle barrier, on the main thread.
+    // loft-tidy: phase-shared(barrier)
+    void
+    atBarrier()
+    {
+        if (!wantReset_)
+            return;
+        in_->flushPending();
+        in_->setConcurrent(false);
+        wantReset_ = false;
+    }
+
+  private:
+    Channel *in_ = nullptr;
+    unsigned backlog_ = 0;
+    bool wantReset_ = false;
+};

@@ -1,0 +1,37 @@
+// Known-bad fixture for loft-stale-suppression.
+//
+// Two rotten waivers:
+//  1. a NOLINTNEXTLINE naming loft-rng-stream-discipline over a line
+//     where that check (which runs alongside the audit) no longer
+//     fires — the suppression outlived the code it excused;
+//  2. a NOLINT naming a check that does not exist at all.
+//
+// Expected: the audit fires on both comment lines when run as
+// --checks=loft-rng-stream-discipline,loft-stale-suppression.
+
+struct Rng
+{
+    explicit Rng(unsigned long long seed) {}
+};
+
+unsigned long long
+mixSeed(unsigned long long parent, unsigned long long salt)
+{
+    return parent ^ (salt * 0x9e3779b97f4a7c15ull);
+}
+
+Rng
+makeStream(unsigned long long parent)
+{
+    // The literal-seed construction this once excused was fixed long
+    // ago; the waiver stayed behind.
+    // NOLINTNEXTLINE(loft-rng-stream-discipline)
+    Rng r{mixSeed(parent, 7)};
+    return r;
+}
+
+int
+answer()
+{
+    return 42; // NOLINT(loft-made-up-check)
+}

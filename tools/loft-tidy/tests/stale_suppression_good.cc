@@ -1,0 +1,40 @@
+// Known-good fixture for loft-stale-suppression.
+//
+// Suppressions that are still earning their keep, plus the forms the
+// audit deliberately leaves alone:
+//  - a NOLINTNEXTLINE absorbing a diagnostic the named check would
+//    emit on the governed line this very run;
+//  - a bare NOLINT (no check list) — not auditable;
+//  - a wildcard list — not auditable.
+//
+// Expected: clean when run as
+// --checks=loft-rng-stream-discipline,loft-stale-suppression.
+
+struct Rng
+{
+    explicit Rng(unsigned long long seed) {}
+};
+
+Rng
+fixtureStream()
+{
+    // A deliberately fixed stream: this is test scaffolding, and the
+    // waiver still absorbs the literal-seed diagnostic.
+    // NOLINTNEXTLINE(loft-rng-stream-discipline)
+    Rng r{42};
+    return r;
+}
+
+Rng
+scratchStream()
+{
+    Rng r{43}; // NOLINT
+    return r;
+}
+
+Rng
+otherStream()
+{
+    Rng r{44}; // NOLINT(loft-*)
+    return r;
+}
